@@ -1,0 +1,61 @@
+//! Small numeric combinatorics helpers.
+
+/// Binomial coefficient `C(n, k)` as `f64`, computed multiplicatively so
+/// intermediate values stay representable for the `n ≤ ~1000` range the
+/// analysis uses.
+pub fn binomial(n: usize, k: usize) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    let k = k.min(n - k);
+    let mut acc = 1.0f64;
+    for i in 0..k {
+        acc *= (n - i) as f64 / (i + 1) as f64;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values() {
+        assert_eq!(binomial(0, 0), 1.0);
+        assert_eq!(binomial(5, 0), 1.0);
+        assert_eq!(binomial(5, 5), 1.0);
+        assert_eq!(binomial(5, 2), 10.0);
+        assert_eq!(binomial(10, 3), 120.0);
+    }
+
+    #[test]
+    fn out_of_range_is_zero() {
+        assert_eq!(binomial(3, 4), 0.0);
+    }
+
+    #[test]
+    fn symmetry() {
+        for n in 0..20 {
+            for k in 0..=n {
+                assert!((binomial(n, k) - binomial(n, n - k)).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn pascal_rule() {
+        for n in 1..30 {
+            for k in 1..n {
+                let lhs = binomial(n, k);
+                let rhs = binomial(n - 1, k - 1) + binomial(n - 1, k);
+                assert!((lhs - rhs).abs() / lhs.max(1.0) < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn row_sums_to_power_of_two() {
+        let sum: f64 = (0..=20).map(|k| binomial(20, k)).sum();
+        assert!((sum - (1u64 << 20) as f64).abs() < 1e-3);
+    }
+}

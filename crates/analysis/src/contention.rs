@@ -1,0 +1,190 @@
+//! Expected number of contention phases **before the sender transmits the
+//! data frame** (paper Section 6, Table 1).
+//!
+//! Let `q` be the probability that the sender misses the CTS of one given
+//! receiver (RTS error/collision, receiver yielding, CTS error). A
+//! protocol re-enters contention until it hears at least one CTS:
+//!
+//! * BMMM polls all `n` receivers in one phase → success prob `1 − qⁿ`,
+//! * LAMM polls the cover set of size `‖S′‖` → `1 − q^{‖S′‖}`,
+//! * BMW polls one receiver per phase → `1 − q`,
+//! * BSMA's receivers answer simultaneously; `k` CTS replies survive the
+//!   channel with probability `C(n,k)(1−q)^k q^{n−k}` and are then only
+//!   decodable via capture with probability `C_k`.
+//!
+//! The expected number of phases is the reciprocal of the per-phase
+//! success probability (geometric distribution).
+
+use crate::combinatorics::binomial;
+use rmm_sim::zorzi_rao_capture;
+
+/// Expected contention phases before BMMM sends data (`1 / (1 − qⁿ)`).
+pub fn bmmm_phases_before_data(q: f64, n: usize) -> f64 {
+    1.0 / (1.0 - q.powi(n as i32))
+}
+
+/// Expected contention phases before LAMM sends data, with a cover set of
+/// size `cover` (`1 / (1 − q^{‖S′‖})`).
+pub fn lamm_phases_before_data(q: f64, cover: usize) -> f64 {
+    1.0 / (1.0 - q.powi(cover as i32))
+}
+
+/// Expected contention phases before BMW sends data (`1 / (1 − q)`).
+pub fn bmw_phases_before_data(q: f64) -> f64 {
+    1.0 / (1.0 - q)
+}
+
+/// Expected contention phases before BSMA sends data, accounting for CTS
+/// collisions and DS capture. `capture(k)` is the probability of decoding
+/// the strongest of `k` simultaneous CTS frames.
+pub fn bsma_phases_before_data_with<F: Fn(usize) -> f64>(q: f64, n: usize, capture: F) -> f64 {
+    let p_success: f64 = (1..=n)
+        .map(|k| binomial(n, k) * (1.0 - q).powi(k as i32) * q.powi((n - k) as i32) * capture(k))
+        .sum();
+    1.0 / p_success
+}
+
+/// [`bsma_phases_before_data_with`] using the calibrated Zorzi–Rao
+/// capture curve (the paper's setting).
+pub fn bsma_phases_before_data(q: f64, n: usize) -> f64 {
+    bsma_phases_before_data_with(q, n, zorzi_rao_capture)
+}
+
+/// One row of the paper's Table 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table1Row {
+    /// Per-receiver CTS-miss probability.
+    pub q: f64,
+    /// Number of intended receivers.
+    pub n: usize,
+    /// LAMM cover-set size.
+    pub cover: usize,
+    /// Expected phases for BMMM.
+    pub bmmm: f64,
+    /// Expected phases for LAMM.
+    pub lamm: f64,
+    /// Expected phases for BMW.
+    pub bmw: f64,
+    /// Expected phases for BSMA.
+    pub bsma: f64,
+}
+
+/// Computes a Table 1 row for the given parameters.
+///
+/// ```
+/// use rmm_analysis::table1;
+/// // The paper's first row: q = 0.05, n = 5, ‖S′‖ = 4.
+/// let row = table1(0.05, 5, 4);
+/// assert!((row.bmmm - 1.00).abs() < 0.01);
+/// assert!((row.bmw - 1.05).abs() < 0.01);
+/// assert!((row.bsma - 3.27).abs() < 0.15);
+/// ```
+pub fn table1(q: f64, n: usize, cover: usize) -> Table1Row {
+    Table1Row {
+        q,
+        n,
+        cover,
+        bmmm: bmmm_phases_before_data(q, n),
+        lamm: lamm_phases_before_data(q, cover),
+        bmw: bmw_phases_before_data(q),
+        bsma: bsma_phases_before_data(q, n),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_first_row_matches_paper() {
+        // Paper: q = 0.05, n = 5, ‖S′‖ = 4 → 1.00, 1.00, 1.05, 3.27.
+        let row = table1(0.05, 5, 4);
+        assert!((row.bmmm - 1.00).abs() < 0.005, "BMMM {}", row.bmmm);
+        assert!((row.lamm - 1.00).abs() < 0.005, "LAMM {}", row.lamm);
+        assert!((row.bmw - 1.05).abs() < 0.005, "BMW {}", row.bmw);
+        assert!((row.bsma - 3.27).abs() < 0.15, "BSMA {}", row.bsma);
+    }
+
+    #[test]
+    fn table1_second_row_matches_paper() {
+        // Paper: q = 0.05, n = 10, ‖S′‖ = 6 → 1.00, 1.00, 1.05, 4.08.
+        let row = table1(0.05, 10, 6);
+        assert!((row.bmmm - 1.00).abs() < 0.005);
+        assert!((row.lamm - 1.00).abs() < 0.005);
+        assert!((row.bmw - 1.05).abs() < 0.005);
+        assert!((row.bsma - 4.08).abs() < 0.20, "BSMA {}", row.bsma);
+    }
+
+    #[test]
+    fn bmmm_beats_bmw_beats_bsma() {
+        for &(q, n) in &[(0.05, 5), (0.1, 8), (0.2, 10)] {
+            let bmmm = bmmm_phases_before_data(q, n);
+            let bmw = bmw_phases_before_data(q);
+            let bsma = bsma_phases_before_data(q, n);
+            assert!(bmmm <= bmw, "q={q} n={n}");
+            assert!(bmw < bsma, "q={q} n={n}");
+        }
+    }
+
+    #[test]
+    fn single_receiver_degenerates() {
+        // With one receiver BMMM, BMW and capture-free BSMA coincide.
+        let q = 0.1;
+        assert!((bmmm_phases_before_data(q, 1) - bmw_phases_before_data(q)).abs() < 1e-12);
+        assert!((bsma_phases_before_data(q, 1) - 1.0 / (1.0 - q)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bmmm_and_bmw_phases_grow_with_q() {
+        for n in [2usize, 5, 10] {
+            let mut prev_bmmm = 0.0;
+            let mut prev_bmw = 0.0;
+            for q in [0.01, 0.05, 0.2, 0.5] {
+                let bmmm = bmmm_phases_before_data(q, n);
+                let bmw = bmw_phases_before_data(q);
+                assert!(bmmm >= prev_bmmm);
+                assert!(bmw > prev_bmw);
+                prev_bmmm = bmmm;
+                prev_bmw = bmw;
+            }
+        }
+    }
+
+    #[test]
+    fn bsma_capture_paradox() {
+        // BSMA is *not* monotone in q: with more losses, fewer CTS frames
+        // collide, so the survivors are easier to capture. A consequence
+        // of relying on capture rather than coordination.
+        let n = 5;
+        assert!(bsma_phases_before_data(0.3, n) < bsma_phases_before_data(0.01, n));
+    }
+
+    #[test]
+    fn bsma_worsens_with_more_receivers() {
+        // More simultaneous CTS replies → lower capture → more phases.
+        let q = 0.05;
+        let mut prev = 0.0;
+        for n in [2usize, 5, 10, 20] {
+            let v = bsma_phases_before_data(q, n);
+            assert!(v > prev, "n={n}: {v} ≤ {prev}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn at_least_one_phase_always() {
+        for &(q, n) in &[(0.0, 1), (0.0, 10), (0.3, 3)] {
+            assert!(bmmm_phases_before_data(q, n) >= 1.0);
+            assert!(bsma_phases_before_data(q.max(0.01), n) >= 1.0);
+        }
+    }
+
+    #[test]
+    fn custom_capture_function_is_honored() {
+        // Perfect capture: BSMA reduces to BMMM's success probability.
+        let q = 0.05;
+        let n = 5;
+        let ideal = bsma_phases_before_data_with(q, n, |_| 1.0);
+        assert!((ideal - bmmm_phases_before_data(q, n)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,25 @@
+//! Closed-form and semi-analytical models from Section 6 of the paper:
+//!
+//! * expected number of contention phases **before the first data frame**
+//!   can be sent, for BMMM / LAMM / BMW / BSMA — reproduces **Table 1**,
+//! * the recursion `f_n` for the expected **total** number of contention
+//!   phases a BMMM multicast needs, and Monte-Carlo counterparts for LAMM
+//!   and BMW — reproduces **Figure 5**.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod airtime;
+pub mod batch;
+pub mod combinatorics;
+pub mod contention;
+
+pub use airtime::{Airtime, FrameBudgetProtocol};
+pub use batch::{
+    bmmm_expected_total_phases, bmw_expected_total_phases, lamm_expected_total_phases,
+};
+pub use combinatorics::binomial;
+pub use contention::{
+    bmmm_phases_before_data, bmw_phases_before_data, bsma_phases_before_data,
+    lamm_phases_before_data, table1,
+};

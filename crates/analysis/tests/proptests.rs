@@ -1,0 +1,99 @@
+//! Property-based tests for the Section 6 analytical models.
+
+use proptest::prelude::*;
+use rmm_analysis::{
+    airtime::Airtime, binomial, bmmm_expected_total_phases, bmmm_phases_before_data,
+    bmw_expected_total_phases, bmw_phases_before_data, bsma_phases_before_data,
+    contention::bsma_phases_before_data_with, lamm_phases_before_data,
+};
+
+proptest! {
+    /// Binomials are positive, symmetric, and satisfy Pascal's rule.
+    #[test]
+    fn binomial_identities(n in 0usize..40, k in 0usize..40) {
+        let b = binomial(n, k);
+        if k > n {
+            prop_assert_eq!(b, 0.0);
+        } else {
+            prop_assert!(b >= 1.0);
+            prop_assert_eq!(b, binomial(n, n - k));
+            if k >= 1 && n >= 1 {
+                let pascal = binomial(n - 1, k - 1) + binomial(n - 1, k);
+                prop_assert!((b - pascal).abs() / b.max(1.0) < 1e-9);
+            }
+        }
+    }
+
+    /// Expected contention phases are always ≥ 1 and ordered
+    /// BMMM ≤ LAMM ≤ BMW for any q and cover set no larger than n.
+    #[test]
+    fn phases_before_data_ordering(q in 0.0f64..0.9, n in 1usize..30, cover_frac in 0.1f64..1.0) {
+        let cover = ((n as f64 * cover_frac).ceil() as usize).clamp(1, n);
+        let bmmm = bmmm_phases_before_data(q, n);
+        let lamm = lamm_phases_before_data(q, cover);
+        let bmw = bmw_phases_before_data(q);
+        prop_assert!(bmmm >= 1.0 - 1e-12);
+        prop_assert!(lamm >= bmmm - 1e-9, "polling fewer receivers can't help");
+        prop_assert!(bmw >= lamm - 1e-9);
+    }
+
+    /// BSMA with perfect capture equals BMMM; with zero capture it
+    /// diverges (no phase can ever succeed).
+    #[test]
+    fn bsma_capture_extremes(q in 0.0f64..0.5, n in 1usize..15) {
+        let perfect = bsma_phases_before_data_with(q, n, |_| 1.0);
+        prop_assert!((perfect - bmmm_phases_before_data(q, n)).abs() < 1e-6);
+        let real = bsma_phases_before_data(q, n);
+        prop_assert!(real >= perfect - 1e-9);
+    }
+
+    /// The f_n recursion: ≥ 1, monotone in n, decreasing in p, and equal
+    /// to the geometric 1/p at n = 1.
+    #[test]
+    fn f_n_properties(n in 1usize..30, p in 0.05f64..1.0) {
+        let f = bmmm_expected_total_phases(n, p);
+        prop_assert!(f >= 1.0 - 1e-12);
+        prop_assert!((bmmm_expected_total_phases(1, p) - 1.0 / p).abs() < 1e-9);
+        if n > 1 {
+            prop_assert!(f >= bmmm_expected_total_phases(n - 1, p) - 1e-9);
+        }
+        let easier = bmmm_expected_total_phases(n, (p + 1.0) / 2.0);
+        prop_assert!(easier <= f + 1e-9);
+        // And always at most BMW's n/p.
+        prop_assert!(f <= bmw_expected_total_phases(n, p) + 1e-9);
+    }
+
+    /// Airtime formulas: batch grows linearly in m; BMMM's completion
+    /// advantage over BMW grows monotonically with m.
+    #[test]
+    fn airtime_monotonicity(m in 1usize..50, c in 1u64..4, d in 1u64..12, difs in 1u64..8, cw in 0u64..64) {
+        let a = Airtime { control: c, data: d, difs, cw };
+        prop_assert_eq!(a.bmmm_batch(m) - a.bmmm_batch(m - 1), 4 * c);
+        let gap_m = a.bmw_completion(m) - a.bmmm_completion(m);
+        let gap_prev = a.bmw_completion(m.saturating_sub(1).max(1)) - a.bmmm_completion(m.saturating_sub(1).max(1));
+        if m >= 2 {
+            // Each extra receiver costs BMW a re-access + have-round and
+            // BMMM only 4 control slots; the gap change is constant.
+            let delta = gap_m - gap_prev;
+            let expect = a.expected_reaccess_delay() + a.bmw_have_round() as f64 - 4.0 * c as f64;
+            prop_assert!((delta - expect).abs() < 1e-9);
+        }
+    }
+
+    /// Frame budgets are monotone in the receiver count and LAMM (smaller
+    /// m) never exceeds BMMM.
+    #[test]
+    fn frame_budget_monotone(m in 1usize..40, cover in 1usize..40) {
+        use rmm_analysis::FrameBudgetProtocol::*;
+        let a = Airtime::default();
+        let cover = cover.min(m);
+        for proto in [Ieee80211, TangGerla, Bsma, Bmw, Bmmm] {
+            let (c1, d1) = a.frame_budget(proto, m);
+            let (c0, d0) = a.frame_budget(proto, m - 1);
+            prop_assert!(c1 >= c0 && d1 >= d0);
+        }
+        let (bmmm_c, _) = a.frame_budget(Bmmm, m);
+        let (lamm_c, _) = a.frame_budget(Bmmm, cover);
+        prop_assert!(lamm_c <= bmmm_c);
+    }
+}

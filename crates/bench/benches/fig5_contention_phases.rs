@@ -1,0 +1,34 @@
+//! Figure 5: expected total contention phases vs n at p = 0.9.
+//! Prints the three series (BMW linear, BMMM/LAMM sub-linear), then
+//! benchmarks the recursion and the LAMM Monte Carlo.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rmm::analysis::{
+    bmmm_expected_total_phases, bmw_expected_total_phases, lamm_expected_total_phases,
+};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let p = 0.9;
+    for n in [1usize, 5, 10, 15, 20] {
+        let bmw = bmw_expected_total_phases(n, p);
+        let bmmm = bmmm_expected_total_phases(n, p);
+        let lamm = lamm_expected_total_phases(n, p, 0.2, 300, 42);
+        eprintln!("[fig5] n={n:>2}: BMW={bmw:.2} BMMM={bmmm:.2} LAMM={lamm:.2}");
+        // The figure's shape: BMW dominates, BMMM/LAMM stay low.
+        if n >= 5 {
+            assert!(bmmm < bmw / 2.0);
+            assert!(lamm <= bmmm * 1.1);
+        }
+    }
+
+    c.bench_function("fig5_bmmm_recursion_n20", |b| {
+        b.iter(|| bmmm_expected_total_phases(black_box(20), black_box(0.9)))
+    });
+    c.bench_function("fig5_lamm_mc_n10_t100", |b| {
+        b.iter(|| lamm_expected_total_phases(black_box(10), 0.9, 0.2, 100, 42))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

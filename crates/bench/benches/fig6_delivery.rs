@@ -1,0 +1,43 @@
+//! Figures 6a/6b: successful delivery rate vs density and load.
+//! Regenerates both series at bench scale (asserting the paper's
+//! ranking), then benchmarks one full simulation run per protocol.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rmm::prelude::*;
+use rmm_bench::{bench_scenario, of, protocol_series};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    // Figure 6a: density axis (node count sweep).
+    for nodes in [40usize, 80, 120] {
+        let s = bench_scenario().with_nodes(nodes);
+        let series = protocol_series(&s, &format!("fig6a nodes={nodes}"), |m| m.delivery_rate);
+        // Paper ranking: LAMM ≥ BMMM >> BSMA, BMW.
+        assert!(of(&series, ProtocolKind::Lamm) + 0.05 >= of(&series, ProtocolKind::Bmmm));
+        assert!(of(&series, ProtocolKind::Bmmm) > of(&series, ProtocolKind::Bmw));
+    }
+    // Figure 6b: load axis.
+    for rate in [2.5e-4, 1e-3] {
+        let s = bench_scenario().with_rate(rate);
+        let series = protocol_series(&s, &format!("fig6b rate={rate:.1e}"), |m| m.delivery_rate);
+        assert!(of(&series, ProtocolKind::Bmmm) > of(&series, ProtocolKind::Bmw));
+    }
+
+    // Wall-clock of one seeded run per protocol at the paper's density.
+    let s = Scenario {
+        n_runs: 1,
+        sim_slots: 2_000,
+        ..Scenario::default()
+    };
+    let mut g = c.benchmark_group("fig6_run_one");
+    g.sample_size(10);
+    for p in rmm_bench::PROTOCOLS {
+        g.bench_with_input(BenchmarkId::from_parameter(p.name()), &p, |b, &p| {
+            b.iter(|| run_one(black_box(&s), p, 1))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Figure 7: successful delivery rate vs service timeout (100–300
+//! slots). Regenerates the series, asserting the paper's monotone trend,
+//! then benchmarks the timeout-300 configuration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rmm::prelude::*;
+use rmm_bench::{bench_scenario, of, protocol_series};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut bmmm_rates = Vec::new();
+    for timeout in [100u64, 200, 300] {
+        let s = bench_scenario().with_timeout(timeout);
+        let series = protocol_series(&s, &format!("fig7 timeout={timeout}"), |m| m.delivery_rate);
+        // BMMM/LAMM dominate BMW/BSMA at every timeout.
+        assert!(of(&series, ProtocolKind::Bmmm) > of(&series, ProtocolKind::Bmw));
+        assert!(of(&series, ProtocolKind::Lamm) > of(&series, ProtocolKind::Bsma));
+        bmmm_rates.push(of(&series, ProtocolKind::Bmmm));
+    }
+    // Larger timeout → higher delivery rate.
+    assert!(
+        bmmm_rates[2] >= bmmm_rates[0],
+        "timeout 300 should beat timeout 100: {bmmm_rates:?}"
+    );
+
+    let s = bench_scenario().with_timeout(300);
+    let mut g = c.benchmark_group("fig7");
+    g.sample_size(10);
+    g.bench_function("bmmm_timeout300_run", |b| {
+        b.iter(|| run_one(black_box(&s), ProtocolKind::Bmmm, 1))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

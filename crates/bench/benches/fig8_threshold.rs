@@ -1,0 +1,55 @@
+//! Figure 8: successful delivery rate vs reliability threshold.
+//! One simulation per protocol, re-scored across thresholds (the
+//! threshold only affects scoring); prints the series and benchmarks the
+//! re-scoring kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rmm::prelude::*;
+use rmm_bench::{bench_scenario, PROTOCOLS};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let s = bench_scenario();
+    let mut all_msgs: Vec<(ProtocolKind, Vec<MessageMetric>)> = Vec::new();
+    for p in PROTOCOLS {
+        let results = rmm::workload::run_many(&s, p);
+        let msgs: Vec<MessageMetric> = results
+            .into_iter()
+            .flat_map(|r| r.messages.into_iter().filter(|m| m.is_group))
+            .collect();
+        all_msgs.push((p, msgs));
+    }
+    let at = |p: ProtocolKind, t: f64| -> f64 {
+        let msgs = &all_msgs.iter().find(|(q, _)| *q == p).unwrap().1;
+        RunMetrics::compute(msgs, t).delivery_rate
+    };
+    for t in [0.5, 0.7, 0.9, 1.0] {
+        eprintln!(
+            "[fig8] threshold={t:.1}: BSMA={:.3} BMW={:.3} BMMM={:.3} LAMM={:.3}",
+            at(ProtocolKind::Bsma, t),
+            at(ProtocolKind::Bmw, t),
+            at(ProtocolKind::Bmmm, t),
+            at(ProtocolKind::Lamm, t)
+        );
+        // Paper: BMMM/LAMM above BMW/BSMA at every threshold.
+        assert!(at(ProtocolKind::Bmmm, t) > at(ProtocolKind::Bmw, t));
+        assert!(at(ProtocolKind::Lamm, t) > at(ProtocolKind::Bsma, t));
+    }
+    // Scoring is monotone decreasing in the threshold.
+    for p in PROTOCOLS {
+        assert!(at(p, 1.0) <= at(p, 0.5) + 1e-12, "{p:?}");
+    }
+
+    let bmmm_msgs = all_msgs
+        .iter()
+        .find(|(q, _)| *q == ProtocolKind::Bmmm)
+        .unwrap()
+        .1
+        .clone();
+    c.bench_function("fig8_rescore_threshold", |b| {
+        b.iter(|| RunMetrics::compute(black_box(&bmmm_msgs), black_box(0.9)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

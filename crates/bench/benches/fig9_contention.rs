@@ -1,0 +1,49 @@
+//! Figures 9a/9b: average contention phases per message vs density and
+//! load. Regenerates both series (asserting BMW's dominance of the
+//! metric), then benchmarks the contention engine itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rmm::mac::Contention;
+use rmm::prelude::*;
+use rmm_bench::{bench_scenario, of, protocol_series};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    for nodes in [40usize, 120] {
+        let s = bench_scenario().with_nodes(nodes);
+        let series = protocol_series(&s, &format!("fig9a nodes={nodes}"), |m| {
+            m.avg_contention_phases
+        });
+        // Paper: BMW needs by far the most contention phases; BMMM/LAMM
+        // no more than BSMA.
+        assert!(of(&series, ProtocolKind::Bmw) > of(&series, ProtocolKind::Bsma));
+        assert!(of(&series, ProtocolKind::Bmmm) <= of(&series, ProtocolKind::Bsma) + 0.2);
+        assert!(of(&series, ProtocolKind::Lamm) <= of(&series, ProtocolKind::Bsma) + 0.2);
+    }
+    for rate in [2.5e-4, 1e-3] {
+        let s = bench_scenario().with_rate(rate);
+        let series = protocol_series(&s, &format!("fig9b rate={rate:.1e}"), |m| {
+            m.avg_contention_phases
+        });
+        assert!(of(&series, ProtocolKind::Bmw) > of(&series, ProtocolKind::Bmmm));
+    }
+
+    // Micro: the contention engine's slot poll.
+    c.bench_function("fig9_contention_poll", |b| {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut cont = Contention::idle();
+        b.iter(|| {
+            cont.begin(31, &mut rng);
+            let mut slots = 0u32;
+            while !cont.poll(black_box(false), 4) {
+                slots += 1;
+            }
+            slots
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,122 @@
+//! Micro-benchmarks of the hot kernels underneath everything else: the
+//! geometry engine (cover angles, arc unions, cover sets) and the slotted
+//! channel.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rmm::geom::{cover_angle, covers_disk, greedy_cover_set, min_cover_set, Arc, ArcSet, Point};
+use rmm::prelude::*;
+use std::hint::black_box;
+
+const R: f64 = 0.2;
+
+fn disk_points(n: usize, seed: u64) -> Vec<Point> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| loop {
+            let x: f64 = rng.random_range(-R..=R);
+            let y: f64 = rng.random_range(-R..=R);
+            if x * x + y * y <= R * R {
+                break Point::new(0.5 + x, 0.5 + y);
+            }
+        })
+        .collect()
+}
+
+fn bench_geometry(c: &mut Criterion) {
+    let pts = disk_points(64, 7);
+    c.bench_function("geom_cover_angle", |b| {
+        b.iter(|| cover_angle(black_box(&pts[0]), black_box(&pts[1]), R))
+    });
+
+    c.bench_function("geom_arcset_union_16", |b| {
+        let arcs: Vec<Arc> = (0..16).map(|i| Arc::new(i as f64 * 0.4, 0.5)).collect();
+        b.iter(|| {
+            let set = ArcSet::from_arcs(arcs.iter().copied());
+            set.covers_full_circle()
+        })
+    });
+
+    c.bench_function("geom_covers_disk_12", |b| {
+        let cover = &pts[1..13];
+        b.iter(|| covers_disk(black_box(&pts[0]), black_box(cover), R))
+    });
+
+    let mut g = c.benchmark_group("geom_cover_set");
+    for n in [6usize, 10, 20] {
+        let pts = disk_points(n, 11);
+        let set: Vec<usize> = (0..n).collect();
+        g.bench_with_input(BenchmarkId::new("min", n), &n, |b, _| {
+            b.iter(|| min_cover_set(black_box(&pts), black_box(&set), R))
+        });
+        g.bench_with_input(BenchmarkId::new("greedy", n), &n, |b, _| {
+            b.iter(|| greedy_cover_set(black_box(&pts), black_box(&set), R))
+        });
+    }
+    g.finish();
+}
+
+fn bench_channel(c: &mut Criterion) {
+    // A dense cell where every slot resolves receptions.
+    c.bench_function("sim_engine_idle_slot_100nodes", |b| {
+        let topo = rmm::workload::uniform_square(100, 0.2, 1);
+        let mut nodes =
+            rmm::mac::MacNode::build_network(&topo, ProtocolKind::Ieee80211, Default::default(), 1);
+        let mut engine = Engine::new(topo, Capture::ZorziRao, 1);
+        b.iter(|| {
+            engine.step(&mut nodes);
+            engine.now()
+        })
+    });
+
+    c.bench_function("sim_busy_network_slot", |b| {
+        let topo = rmm::workload::uniform_square(100, 0.2, 1);
+        let mut nodes =
+            rmm::mac::MacNode::build_network(&topo, ProtocolKind::Bmmm, Default::default(), 1);
+        let mut engine = Engine::new(topo.clone(), Capture::ZorziRao, 1);
+        let mut traffic = rmm::workload::TrafficGen::new(2e-3, Default::default(), 1);
+        let mut arrivals = Vec::new();
+        let mut t = 0u64;
+        b.iter(|| {
+            traffic.tick(engine.topology(), t, &mut arrivals);
+            for a in &arrivals {
+                nodes[a.node.index()].enqueue(a.kind, a.receivers.clone(), t);
+            }
+            engine.step(&mut nodes);
+            t += 1;
+            t
+        })
+    });
+}
+
+fn bench_wire(c: &mut Criterion) {
+    use rmm::sim::{decode_frame, encode_frame, Dest, Frame, FrameKind, MsgId, NodeId};
+    let rts = Frame::control(
+        FrameKind::Rts,
+        NodeId(3),
+        Dest::Node(NodeId(7)),
+        12,
+        MsgId::new(NodeId(3), 41),
+    );
+    let data = Frame::data(
+        NodeId(3),
+        Dest::Node(NodeId(7)),
+        2,
+        MsgId::new(NodeId(3), 41),
+        5,
+    );
+    c.bench_function("wire_encode_rts", |b| {
+        b.iter(|| encode_frame(black_box(&rts), 50.0, 0))
+    });
+    let data_octets = encode_frame(&data, 50.0, 200);
+    c.bench_function("wire_decode_data_1k", |b| {
+        b.iter(|| decode_frame(black_box(&data_octets)).unwrap())
+    });
+    c.bench_function("wire_crc32_1k", |b| {
+        b.iter(|| rmm::sim::crc32(black_box(&data_octets)))
+    });
+}
+
+criterion_group!(benches, bench_geometry, bench_channel, bench_wire);
+criterion_main!(benches);

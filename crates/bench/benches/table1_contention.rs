@@ -1,0 +1,29 @@
+//! Table 1: expected contention phases before the sender sends data.
+//! Prints the reproduced rows, then benchmarks the analysis kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rmm::analysis::contention::table1;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    // Regenerate Table 1 (paper: 1.00/1.00/1.05/3.27 and …/4.08).
+    for &(q, n, cover) in &[(0.05, 5usize, 4usize), (0.05, 10, 6)] {
+        let row = table1(q, n, cover);
+        eprintln!(
+            "[table1] q={q} n={n} |S'|={cover}: BMMM={:.2} LAMM={:.2} BMW={:.2} BSMA={:.2}",
+            row.bmmm, row.lamm, row.bmw, row.bsma
+        );
+        assert!((row.bmmm - 1.0).abs() < 0.01);
+        assert!((row.bmw - 1.05).abs() < 0.01);
+    }
+
+    c.bench_function("table1_row", |b| {
+        b.iter(|| table1(black_box(0.05), black_box(10), black_box(6)))
+    });
+    c.bench_function("table1_bsma_n50", |b| {
+        b.iter(|| rmm::analysis::bsma_phases_before_data(black_box(0.05), black_box(50)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

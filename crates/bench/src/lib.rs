@@ -1,0 +1,60 @@
+//! Shared helpers for the benchmark suite that regenerates the paper's
+//! tables and figures.
+//!
+//! Each `benches/*.rs` target does two things:
+//!
+//! 1. **regenerates its table/figure** at a bench-friendly scale (fewer
+//!    seeds and slots than the paper's 100×10 000 — the `experiments`
+//!    binary produces the full-scale numbers) and prints the series, so
+//!    `cargo bench` output documents the reproduced shape, and
+//! 2. **benchmarks** the underlying computation with Criterion, so the
+//!    cost of the kernels (simulation slots, geometry, analysis) is
+//!    tracked over time.
+
+use rmm::prelude::*;
+
+/// Bench-scale scenario: the paper's Table 2 parameters with fewer slots
+/// and runs, sized to keep `cargo bench` minutes-scale on one core.
+pub fn bench_scenario() -> Scenario {
+    Scenario {
+        n_nodes: 60,
+        sim_slots: 2_000,
+        n_runs: 2,
+        ..Scenario::default()
+    }
+}
+
+/// The protocols the paper plots.
+pub const PROTOCOLS: [ProtocolKind; 4] = [
+    ProtocolKind::Bsma,
+    ProtocolKind::Bmw,
+    ProtocolKind::Bmmm,
+    ProtocolKind::Lamm,
+];
+
+/// Runs `scenario` for each protocol and returns one metric per protocol,
+/// printing labelled series lines as it goes.
+pub fn protocol_series(
+    scenario: &Scenario,
+    label: &str,
+    metric: impl Fn(&RunMetrics) -> f64,
+) -> Vec<(ProtocolKind, f64)> {
+    let mut out = Vec::new();
+    for p in PROTOCOLS {
+        let results = rmm::workload::run_many(scenario, p);
+        let m = rmm::workload::mean_group_metrics(&results);
+        let v = metric(&m);
+        eprintln!("[{label}] {:<6} = {v:.3}", p.name());
+        out.push((p, v));
+    }
+    out
+}
+
+/// Convenience: the metric value for one protocol from a series.
+pub fn of(series: &[(ProtocolKind, f64)], p: ProtocolKind) -> f64 {
+    series
+        .iter()
+        .find(|(q, _)| *q == p)
+        .expect("protocol in series")
+        .1
+}

@@ -1,0 +1,400 @@
+//! Command-line front end for the reliable multicast MAC simulator.
+//!
+//! ```text
+//! rmm run     --protocol lamm [--config s.json] [--nodes N] [--slots N]
+//!             [--rate X] [--timeout N] [--runs N] [--seed N] [--json]
+//! rmm compare [--config s.json] [same overrides]
+//! rmm config  # emit a default scenario JSON template to stdout
+//! ```
+//!
+//! Configs are the JSON serialization of
+//! [`rmm::workload::Scenario`]; command-line flags override
+//! individual fields after the file is loaded.
+
+use rmm::mac::ProtocolKind;
+use rmm::stats::{Summary, Table};
+use rmm::workload::{mean_group_metrics, run_many, Scenario};
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Run one protocol and report its metrics.
+    Run {
+        /// Protocol under test.
+        protocol: ProtocolKind,
+        /// Scenario after config + overrides.
+        scenario: Scenario,
+        /// Emit machine-readable JSON instead of a table.
+        json: bool,
+    },
+    /// Run every protocol on the same scenario and print the comparison.
+    Compare {
+        /// Scenario after config + overrides.
+        scenario: Scenario,
+        /// Emit machine-readable JSON instead of a table.
+        json: bool,
+    },
+    /// Print the default scenario as a JSON template.
+    Config,
+    /// Print usage.
+    Help,
+}
+
+/// Errors from [`parse_args`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum CliError {
+    /// Unknown subcommand or flag.
+    Unknown(String),
+    /// A flag was missing its value or the value did not parse.
+    BadValue(String),
+    /// The config file could not be read or parsed.
+    BadConfig(String),
+    /// `run` requires `--protocol`.
+    MissingProtocol,
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Unknown(s) => write!(f, "unknown argument: {s}"),
+            CliError::BadValue(s) => write!(f, "bad or missing value for {s}"),
+            CliError::BadConfig(s) => write!(f, "config error: {s}"),
+            CliError::MissingProtocol => write!(f, "`run` requires --protocol <name>"),
+        }
+    }
+}
+
+/// Parses a protocol name (case-insensitive; accepts the display names
+/// and a few aliases).
+pub fn parse_protocol(name: &str) -> Option<ProtocolKind> {
+    match name.to_ascii_lowercase().as_str() {
+        "802.11" | "80211" | "ieee80211" | "plain" => Some(ProtocolKind::Ieee80211),
+        "tg" | "tg-rts" | "tang-gerla" | "tanggerla" => Some(ProtocolKind::TangGerla),
+        "bsma" => Some(ProtocolKind::Bsma),
+        "bmw" => Some(ProtocolKind::Bmw),
+        "bmmm" => Some(ProtocolKind::Bmmm),
+        "lamm" => Some(ProtocolKind::Lamm),
+        "leader" | "leader-based" | "kk" => Some(ProtocolKind::LeaderBased),
+        _ => None,
+    }
+}
+
+/// Parses an argument vector (without the binary name).
+pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, CliError> {
+    let mut args = args.into_iter();
+    let sub = match args.next() {
+        Some(s) => s,
+        None => return Ok(Command::Help),
+    };
+    match sub.as_str() {
+        "config" => Ok(Command::Config),
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "run" | "compare" => {
+            let mut protocol = None;
+            let mut scenario = Scenario::default();
+            let mut json = false;
+            let rest: Vec<String> = args.collect();
+            let mut i = 0;
+            let value = |rest: &[String], i: usize, flag: &str| -> Result<String, CliError> {
+                rest.get(i + 1)
+                    .cloned()
+                    .ok_or_else(|| CliError::BadValue(flag.into()))
+            };
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--protocol" | "-p" => {
+                        let v = value(&rest, i, "--protocol")?;
+                        protocol =
+                            Some(parse_protocol(&v).ok_or_else(|| CliError::BadValue(v.clone()))?);
+                        i += 2;
+                    }
+                    "--config" => {
+                        let path = value(&rest, i, "--config")?;
+                        let text = std::fs::read_to_string(&path)
+                            .map_err(|e| CliError::BadConfig(format!("{path}: {e}")))?;
+                        scenario = serde_json::from_str(&text)
+                            .map_err(|e| CliError::BadConfig(format!("{path}: {e}")))?;
+                        i += 2;
+                    }
+                    "--nodes" => {
+                        scenario.n_nodes = parse_num(&rest, i, "--nodes")?;
+                        i += 2;
+                    }
+                    "--slots" => {
+                        scenario.sim_slots = parse_num(&rest, i, "--slots")?;
+                        i += 2;
+                    }
+                    "--rate" => {
+                        scenario.msg_rate = parse_num(&rest, i, "--rate")?;
+                        i += 2;
+                    }
+                    "--timeout" => {
+                        scenario.timing.timeout = parse_num(&rest, i, "--timeout")?;
+                        i += 2;
+                    }
+                    "--runs" => {
+                        scenario.n_runs = parse_num(&rest, i, "--runs")?;
+                        i += 2;
+                    }
+                    "--threshold" => {
+                        scenario.reliability_threshold = parse_num(&rest, i, "--threshold")?;
+                        i += 2;
+                    }
+                    "--fer" => {
+                        scenario.fer = parse_num(&rest, i, "--fer")?;
+                        i += 2;
+                    }
+                    "--json" => {
+                        json = true;
+                        i += 1;
+                    }
+                    other => return Err(CliError::Unknown(other.to_string())),
+                }
+            }
+            if sub == "run" {
+                Ok(Command::Run {
+                    protocol: protocol.ok_or(CliError::MissingProtocol)?,
+                    scenario,
+                    json,
+                })
+            } else {
+                Ok(Command::Compare { scenario, json })
+            }
+        }
+        other => Err(CliError::Unknown(other.to_string())),
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(rest: &[String], i: usize, flag: &str) -> Result<T, CliError> {
+    rest.get(i + 1)
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| CliError::BadValue(flag.into()))
+}
+
+/// Renders one protocol's results.
+pub fn render_run(protocol: ProtocolKind, scenario: &Scenario, json: bool) -> String {
+    let results = run_many(scenario, protocol);
+    let m = mean_group_metrics(&results);
+    let delivery: Vec<f64> = results
+        .iter()
+        .map(|r| r.group_metrics.delivery_rate)
+        .collect();
+    let ci = Summary::of(&delivery);
+    if json {
+        serde_json::json!({
+            "protocol": protocol.name(),
+            "runs": results.len(),
+            "mean_degree": results.iter().map(|r| r.mean_degree).sum::<f64>() / results.len() as f64,
+            "delivery_rate": { "mean": ci.mean, "ci95": ci.ci95 },
+            "avg_contention_phases": m.avg_contention_phases,
+            "avg_completion_time": m.avg_completion_time,
+            "utilization": results.iter().map(|r| r.utilization).sum::<f64>() / results.len() as f64,
+            "reliable": protocol.is_reliable(),
+        })
+        .to_string()
+    } else {
+        let mut t = Table::new(["metric", "value"]);
+        t.row(["protocol".to_string(), protocol.name().to_string()]);
+        t.row(["runs".to_string(), results.len().to_string()]);
+        t.row(["delivery rate".to_string(), ci.display()]);
+        t.row([
+            "contention phases/msg".to_string(),
+            format!("{:.2}", m.avg_contention_phases),
+        ]);
+        t.row([
+            "completion time (slots)".to_string(),
+            format!("{:.1}", m.avg_completion_time),
+        ]);
+        t.row([
+            "airtime utilization".to_string(),
+            format!(
+                "{:.3}",
+                results.iter().map(|r| r.utilization).sum::<f64>() / results.len() as f64
+            ),
+        ]);
+        t.row([
+            "reliable protocol".to_string(),
+            if protocol.is_reliable() { "yes" } else { "no" }.to_string(),
+        ]);
+        t.render()
+    }
+}
+
+/// Renders the all-protocol comparison.
+pub fn render_compare(scenario: &Scenario, json: bool) -> String {
+    let mut rows = Vec::new();
+    for protocol in ProtocolKind::ALL {
+        let results = run_many(scenario, protocol);
+        let m = mean_group_metrics(&results);
+        rows.push((protocol, m));
+    }
+    if json {
+        let v: Vec<_> = rows
+            .iter()
+            .map(|(p, m)| {
+                serde_json::json!({
+                    "protocol": p.name(),
+                    "delivery_rate": m.delivery_rate,
+                    "avg_contention_phases": m.avg_contention_phases,
+                    "avg_completion_time": m.avg_completion_time,
+                })
+            })
+            .collect();
+        serde_json::to_string_pretty(&v).expect("json serializes")
+    } else {
+        let mut t = Table::new(["protocol", "delivery", "phases", "completion", "reliable"]);
+        for (p, m) in rows {
+            t.row([
+                p.name().to_string(),
+                format!("{:.3}", m.delivery_rate),
+                format!("{:.2}", m.avg_contention_phases),
+                format!("{:.1}", m.avg_completion_time),
+                if p.is_reliable() { "yes" } else { "no" }.to_string(),
+            ]);
+        }
+        t.render()
+    }
+}
+
+/// The default scenario as a pretty JSON template.
+pub fn config_template() -> String {
+    serde_json::to_string_pretty(&Scenario::default()).expect("scenario serializes")
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+rmm — reliable 802.11 multicast MAC simulator (BMMM / LAMM, ICPP 2002)
+
+usage:
+  rmm run --protocol <802.11|tg|bsma|bmw|bmmm|lamm|leader> [options]
+  rmm compare [options]
+  rmm config              # print a scenario JSON template
+
+options:
+  --config <file.json>    load a Scenario (JSON); flags below override it
+  --nodes N  --slots N  --rate X  --timeout N  --runs N
+  --threshold X  --fer X  --json
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parse_protocol_names() {
+        assert_eq!(parse_protocol("LAMM"), Some(ProtocolKind::Lamm));
+        assert_eq!(parse_protocol("bmmm"), Some(ProtocolKind::Bmmm));
+        assert_eq!(parse_protocol("802.11"), Some(ProtocolKind::Ieee80211));
+        assert_eq!(parse_protocol("kk"), Some(ProtocolKind::LeaderBased));
+        assert_eq!(parse_protocol("nope"), None);
+    }
+
+    #[test]
+    fn parse_run_with_overrides() {
+        let cmd = parse_args(args(
+            "run --protocol lamm --nodes 50 --slots 2000 --runs 3 --json",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Run {
+                protocol,
+                scenario,
+                json,
+            } => {
+                assert_eq!(protocol, ProtocolKind::Lamm);
+                assert_eq!(scenario.n_nodes, 50);
+                assert_eq!(scenario.sim_slots, 2000);
+                assert_eq!(scenario.n_runs, 3);
+                assert!(json);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_requires_protocol() {
+        assert_eq!(
+            parse_args(args("run --nodes 50")),
+            Err(CliError::MissingProtocol)
+        );
+    }
+
+    #[test]
+    fn unknown_flag_is_rejected() {
+        assert!(matches!(
+            parse_args(args("run --protocol bmmm --frobnicate")),
+            Err(CliError::Unknown(_))
+        ));
+    }
+
+    #[test]
+    fn compare_and_config_and_help() {
+        assert!(matches!(
+            parse_args(args("compare --runs 2")),
+            Ok(Command::Compare { .. })
+        ));
+        assert_eq!(parse_args(args("config")), Ok(Command::Config));
+        assert_eq!(parse_args(args("help")), Ok(Command::Help));
+        assert_eq!(parse_args(Vec::new()), Ok(Command::Help));
+    }
+
+    #[test]
+    fn config_template_roundtrips() {
+        let template = config_template();
+        let parsed: Scenario = serde_json::from_str(&template).unwrap();
+        assert_eq!(parsed, Scenario::default());
+    }
+
+    #[test]
+    fn config_file_loads_and_flags_override() {
+        let dir = std::env::temp_dir().join("rmm_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("scenario.json");
+        let s = Scenario {
+            n_nodes: 33,
+            msg_rate: 1e-3,
+            ..Scenario::default()
+        };
+        std::fs::write(&path, serde_json::to_string(&s).unwrap()).unwrap();
+        let cmd = parse_args(args(&format!(
+            "run --protocol bmw --config {} --nodes 44",
+            path.display()
+        )))
+        .unwrap();
+        match cmd {
+            Command::Run { scenario, .. } => {
+                assert_eq!(scenario.n_nodes, 44, "flag overrides config");
+                assert_eq!(scenario.msg_rate, 1e-3, "config field survives");
+            }
+            other => panic!("{other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn render_run_produces_metrics() {
+        let scenario = Scenario {
+            n_nodes: 30,
+            sim_slots: 1_500,
+            n_runs: 1,
+            ..Scenario::default()
+        };
+        let text = render_run(ProtocolKind::Bmmm, &scenario, false);
+        assert!(text.contains("delivery rate"));
+        assert!(text.contains("BMMM"));
+        let json = render_run(ProtocolKind::Bmmm, &scenario, true);
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v["protocol"], "BMMM");
+        assert!(v["delivery_rate"]["mean"].as_f64().unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn bad_config_reports_error() {
+        let err = parse_args(args("run --protocol bmmm --config /nonexistent/x.json"));
+        assert!(matches!(err, Err(CliError::BadConfig(_))));
+    }
+}

@@ -1,0 +1,33 @@
+//! The `rmm` binary. See [`rmm_cli`] for the command grammar.
+
+use rmm_cli::{parse_args, render_compare, render_run, Command, USAGE};
+
+fn main() {
+    let cmd = match parse_args(std::env::args().skip(1)) {
+        Ok(cmd) => cmd,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    match cmd {
+        Command::Help => print!("{USAGE}"),
+        Command::Config => println!("{}", rmm_cli::config_template()),
+        Command::Run {
+            protocol,
+            scenario,
+            json,
+        } => {
+            print!("{}", render_run(protocol, &scenario, json));
+            if !json {
+                println!();
+            }
+        }
+        Command::Compare { scenario, json } => {
+            print!("{}", render_compare(&scenario, json));
+            if !json {
+                println!();
+            }
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! End-to-end tests driving the actual `rmm` binary.
+
+use std::process::Command;
+
+fn rmm() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rmm"))
+}
+
+#[test]
+fn config_emits_valid_scenario_json() {
+    let out = rmm().arg("config").output().expect("binary runs");
+    assert!(out.status.success());
+    let scenario: rmm::workload::Scenario =
+        serde_json::from_slice(&out.stdout).expect("valid Scenario JSON");
+    assert_eq!(scenario, rmm::workload::Scenario::default());
+}
+
+#[test]
+fn run_json_reports_metrics() {
+    let out = rmm()
+        .args([
+            "run",
+            "--protocol",
+            "bmmm",
+            "--nodes",
+            "30",
+            "--slots",
+            "1500",
+            "--runs",
+            "1",
+            "--json",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let v: serde_json::Value = serde_json::from_slice(&out.stdout).expect("json output");
+    assert_eq!(v["protocol"], "BMMM");
+    assert_eq!(v["reliable"], true);
+    let rate = v["delivery_rate"]["mean"].as_f64().unwrap();
+    assert!((0.0..=1.0).contains(&rate));
+}
+
+#[test]
+fn bad_usage_exits_nonzero_with_usage() {
+    let out = rmm()
+        .args(["run", "--nodes", "30"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--protocol"));
+    assert!(err.contains("usage"));
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = rmm().arg("help").output().expect("binary runs");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("rmm run --protocol"));
+}
+
+#[test]
+fn config_file_roundtrip_through_binary() {
+    let dir = std::env::temp_dir().join("rmm_cli_e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("s.json");
+    let out = rmm().arg("config").output().unwrap();
+    std::fs::write(&path, &out.stdout).unwrap();
+    let out = rmm()
+        .args([
+            "run",
+            "--protocol",
+            "lamm",
+            "--config",
+            path.to_str().unwrap(),
+            "--nodes",
+            "25",
+            "--slots",
+            "1200",
+            "--runs",
+            "1",
+            "--json",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let v: serde_json::Value = serde_json::from_slice(&out.stdout).unwrap();
+    assert_eq!(v["protocol"], "LAMM");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,84 @@
+//! # rmm — Reliable MAC Layer Multicast for IEEE 802.11
+//!
+//! A from-scratch reproduction of *"Reliable MAC Layer Multicast in IEEE
+//! 802.11 Wireless Networks"* (Min-Te Sun, Lifei Huang, Anish Arora,
+//! Ten-Hwang Lai — ICPP 2002): the **BMMM** (Batch Mode Multicast MAC)
+//! and **LAMM** (Location Aware Multicast MAC) protocols, the baselines
+//! they are evaluated against, and the slotted wireless LAN simulator,
+//! geometry engine, analytical models and experiment harness needed to
+//! regenerate every table and figure of the paper.
+//!
+//! This crate is the facade: it re-exports the public API of the
+//! workspace crates under stable module names.
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`geom`] | `rmm-geom` | cover angles, arc unions, cover sets, `MCS`/`UPDATE` |
+//! | [`sim`] | `rmm-sim` | slotted engine, disk channel, collisions, DS capture |
+//! | [`mac`] | `rmm-mac` | BMMM, LAMM, BMW, BSMA, Tang–Gerla, 802.11, DCF |
+//! | [`workload`] | `rmm-workload` | placement, traffic mix, parallel runner |
+//! | [`stats`] | `rmm-stats` | delivery rate / contention / completion metrics |
+//! | [`analysis`] | `rmm-analysis` | Section 6 closed forms (Table 1, Figure 5) |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rmm::prelude::*;
+//!
+//! // The paper's Table 2 scenario, shortened for a doctest.
+//! let scenario = Scenario { n_nodes: 50, sim_slots: 2_000, n_runs: 1, ..Scenario::default() };
+//! let bmmm = run_one(&scenario, ProtocolKind::Bmmm, 7);
+//! let bmw = run_one(&scenario, ProtocolKind::Bmw, 7);
+//!
+//! // BMMM consolidates contention phases (the paper's headline claim).
+//! assert!(
+//!     bmmm.group_metrics.avg_contention_phases < bmw.group_metrics.avg_contention_phases
+//! );
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+/// Computational geometry: cover angles, cover sets, `MCS`, `UPDATE`.
+pub mod geom {
+    pub use rmm_geom::*;
+}
+
+/// The slotted wireless LAN simulator.
+pub mod sim {
+    pub use rmm_sim::*;
+}
+
+/// The MAC protocol suite.
+pub mod mac {
+    pub use rmm_mac::*;
+}
+
+/// Scenarios, traffic and the parallel runner.
+pub mod workload {
+    pub use rmm_workload::*;
+}
+
+/// Metrics and statistics.
+pub mod stats {
+    pub use rmm_stats::*;
+}
+
+/// The paper's analytical models.
+pub mod analysis {
+    pub use rmm_analysis::*;
+}
+
+/// Route discovery over the multicast MAC (the motivating workload).
+pub mod route {
+    pub use rmm_route::*;
+}
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use rmm_geom::{covers_disk, min_cover_set, update_uncovered, Point};
+    pub use rmm_mac::{MacNode, MacTiming, Outcome, ProtocolKind, SentRecord, TrafficKind};
+    pub use rmm_sim::{Capture, Engine, Frame, FrameKind, MsgId, NodeId, Slot, Topology};
+    pub use rmm_stats::{MessageMetric, RunMetrics, Summary};
+    pub use rmm_workload::{run_many, run_one, RunResult, Scenario};
+}

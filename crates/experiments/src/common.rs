@@ -1,0 +1,74 @@
+//! Shared experiment plumbing: configuration, output, protocol lists.
+
+use rmm_mac::ProtocolKind;
+use rmm_plot::Chart;
+use rmm_stats::Table;
+use std::path::PathBuf;
+
+/// The four protocols the paper simulates, in its plotting order.
+pub const PAPER_PROTOCOLS: [ProtocolKind; 4] = [
+    ProtocolKind::Bsma,
+    ProtocolKind::Bmw,
+    ProtocolKind::Bmmm,
+    ProtocolKind::Lamm,
+];
+
+/// Global experiment options parsed from the command line.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Seeded runs per data point (paper: 100).
+    pub runs: usize,
+    /// Run length in slots (paper: 10 000).
+    pub slots: u64,
+    /// Output directory for CSV/JSON artifacts.
+    pub out_dir: PathBuf,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            runs: 100,
+            slots: 10_000,
+            out_dir: PathBuf::from("results"),
+        }
+    }
+}
+
+impl Options {
+    /// Reduced-cost preset for smoke testing (`--quick`).
+    pub fn quick(mut self) -> Self {
+        self.runs = 10;
+        self.slots = 4_000;
+        self
+    }
+}
+
+/// Prints a table to stdout under a heading and writes it as CSV.
+pub fn emit(options: &Options, name: &str, title: &str, table: &Table) {
+    println!("\n== {title} ==");
+    print!("{}", table.render());
+    let path = options.out_dir.join(format!("{name}.csv"));
+    match rmm_stats::write_csv(table, &path) {
+        Ok(()) => println!("[written {}]", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}
+
+/// Writes a rendered figure (SVG) next to the CSVs.
+pub fn emit_chart(options: &Options, name: &str, chart: &Chart) {
+    let path = options.out_dir.join(format!("{name}.svg"));
+    match chart.write(&path, 560.0, 360.0) {
+        Ok(()) => println!("[figure {}]", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}
+
+/// Formats a float with 3 decimals for table cells.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a float with 2 decimals for table cells.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}

@@ -1,0 +1,103 @@
+//! Experiment runner: regenerates every table and figure of the paper.
+//!
+//! ```text
+//! experiments [EXPERIMENT ...] [--runs N] [--slots N] [--out DIR] [--quick]
+//!
+//! EXPERIMENT: all | table1 | fig2 | fig5 | fig6 | fig7 | fig8 | fig9 | fig10
+//!             (fig6/fig9/fig10 run both their (a) density and (b) rate axes;
+//!              the density and rate sweeps are shared across those figures
+//!              and executed once)
+//!             ext | overhead | fer | noise | mobility — extension
+//!             experiments beyond the paper's own figures (`ext` runs all
+//!             four; they are not part of `all`)
+//! ```
+
+mod common;
+mod extensions;
+mod fig2;
+mod fig5;
+mod sweeps;
+mod table1;
+
+use common::Options;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: experiments [all|table1|fig2|fig5|fig6|fig7|fig8|fig9|fig10|\
+         ext|overhead|fer|noise|mobility|route ...] \
+         [--runs N] [--slots N] [--out DIR] [--quick]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut options = Options::default();
+    let mut wanted: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--runs" => {
+                options.runs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--slots" => {
+                options.slots = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--out" => options.out_dir = args.next().map(Into::into).unwrap_or_else(|| usage()),
+            "--quick" => options = options.clone().quick(),
+            "--help" | "-h" => usage(),
+            name if !name.starts_with('-') => wanted.push(name.to_string()),
+            _ => usage(),
+        }
+    }
+    if wanted.is_empty() {
+        wanted.push("all".to_string());
+    }
+
+    let t0 = std::time::Instant::now();
+    let has = |name: &str| wanted.iter().any(|w| w == name || w == "all");
+
+    if has("table1") {
+        table1::run(&options);
+    }
+    if has("fig2") {
+        fig2::run(&options);
+    }
+    if has("fig5") {
+        fig5::run(&options);
+    }
+    // fig6a/9a/10a share the density sweep; fig6b/9b/10b share the rate
+    // sweep — run each shared sweep once if any of its figures is wanted.
+    if has("fig6") || has("fig9") || has("fig10") {
+        sweeps::density_sweep(&options);
+        sweeps::rate_sweep(&options);
+    }
+    if has("fig7") {
+        sweeps::fig7(&options);
+    }
+    if has("fig8") {
+        sweeps::fig8(&options);
+    }
+    let has_ext = |name: &str| wanted.iter().any(|w| w == name || w == "ext");
+    if has_ext("overhead") {
+        extensions::overhead(&options);
+    }
+    if has_ext("fer") {
+        extensions::fer(&options);
+    }
+    if has_ext("noise") {
+        extensions::noise(&options);
+    }
+    if has_ext("mobility") {
+        extensions::mobility(&options);
+    }
+    if has_ext("route") {
+        extensions::route(&options);
+    }
+    eprintln!("\n[experiments done in {:.1?}]", t0.elapsed());
+}

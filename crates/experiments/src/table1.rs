@@ -1,0 +1,46 @@
+//! Table 1: expected number of contention phases before the sender sends
+//! data, at `q = 0.05` with `(n, ‖S′‖) = (5, 4)` and `(10, 6)`.
+
+use crate::common::{emit, f2, Options};
+use rmm_analysis::contention::table1;
+use rmm_stats::Table;
+
+/// Runs the Table 1 experiment (pure analysis).
+pub fn run(options: &Options) {
+    let mut table = Table::new(["Parameters", "BMMM", "LAMM", "BMW", "BSMA"]);
+    for &(q, n, cover) in &[(0.05, 5, 4), (0.05, 10, 6)] {
+        let row = table1(q, n, cover);
+        table.row([
+            format!("q={q}, n={n}, |S'|={cover}"),
+            f2(row.bmmm),
+            f2(row.lamm),
+            f2(row.bmw),
+            f2(row.bsma),
+        ]);
+    }
+    emit(
+        options,
+        "table1",
+        "Table 1: expected contention phases before the sender sends data \
+         (paper: 1.00/1.00/1.05/3.27 and 1.00/1.00/1.05/4.08)",
+        &table,
+    );
+
+    // Extended sweep beyond the paper's two rows, for context.
+    let mut ext = Table::new(["q", "n", "|S'|", "BMMM", "LAMM", "BMW", "BSMA"]);
+    for &q in &[0.01, 0.05, 0.1, 0.2] {
+        for &(n, cover) in &[(5usize, 4usize), (10, 6), (20, 8)] {
+            let row = table1(q, n, cover);
+            ext.row([
+                format!("{q}"),
+                n.to_string(),
+                cover.to_string(),
+                f2(row.bmmm),
+                f2(row.lamm),
+                f2(row.bmw),
+                f2(row.bsma),
+            ]);
+        }
+    }
+    emit(options, "table1_extended", "Table 1 (extended sweep)", &ext);
+}

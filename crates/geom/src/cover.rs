@@ -1,0 +1,273 @@
+//! Cover angles (Definition 2) and the angle-based coverage test
+//! (Theorem 4).
+
+use crate::angle::Arc;
+use crate::arcs::ArcSet;
+use crate::point::Point;
+use crate::EPS;
+
+/// The cover angle of a node `p` for a node `q` (paper Definition 2).
+///
+/// * Two nodes at the same location cover each other fully (`Full`,
+///   the paper's `[0, 360]`).
+/// * Nodes farther than `R` apart do not cover each other at all
+///   (`Empty`, the paper's `∅`).
+/// * Otherwise the cover angle is the arc `[∠cpa, ∠cpb]` where `a, b` are
+///   the intersections of the boundaries of `A(p)` and `A(q)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CoverAngle {
+    /// `q` contributes no coverage of `A(p)`.
+    Empty,
+    /// `A(p) ⊆ A(q)` trivially (co-located nodes).
+    Full,
+    /// The sector of `A(p)` spanned by this arc lies inside `A(q)`.
+    Partial(Arc),
+}
+
+impl CoverAngle {
+    /// The arc form of the cover angle, if any.
+    pub fn arc(&self) -> Option<Arc> {
+        match self {
+            CoverAngle::Empty => None,
+            CoverAngle::Full => Some(Arc::full()),
+            CoverAngle::Partial(a) => Some(*a),
+        }
+    }
+}
+
+/// Computes the cover angle of `p` for `q`, assuming both nodes have
+/// transmission radius `r` (the paper assumes a shared constant radius).
+///
+/// Geometry: with `d = |pq| ≤ r`, the boundary circles of `A(p)` and
+/// `A(q)` intersect at the two points at angular offset
+/// `±arccos(d / 2r)` from the direction `p → q`. The sector of `A(p)`
+/// between those directions is contained in `A(p) ∩ A(q)`.
+pub fn cover_angle(p: &Point, q: &Point, r: f64) -> CoverAngle {
+    debug_assert!(r > 0.0, "transmission radius must be positive");
+    let d = p.dist(q);
+    if d <= EPS {
+        return CoverAngle::Full;
+    }
+    if d > r + EPS {
+        return CoverAngle::Empty;
+    }
+    let half_width = (d / (2.0 * r)).clamp(-1.0, 1.0).acos();
+    let center = p.direction_to(q);
+    CoverAngle::Partial(Arc::new(center - half_width, 2.0 * half_width))
+}
+
+/// Theorem 4 test: is the coverage disk `A(p)` completely covered by the
+/// coverage disks of the nodes in `cover` (all with radius `r`)?
+///
+/// This is the *angle-based scheme*: sufficient for coverage, and exactly
+/// the test LAMM uses to decide which receivers need no explicit ACK.
+///
+/// ```
+/// use rmm_geom::{covers_disk, Point};
+/// let p = Point::new(0.5, 0.5);
+/// // Three tight neighbors at 120° spacing cover p's whole disk…
+/// let ring: Vec<Point> = (0..3)
+///     .map(|i| {
+///         let a = i as f64 * std::f64::consts::TAU / 3.0;
+///         p.offset(0.05 * a.cos(), 0.05 * a.sin())
+///     })
+///     .collect();
+/// assert!(covers_disk(&p, &ring, 0.2));
+/// // …but any two of them leave a gap.
+/// assert!(!covers_disk(&p, &ring[..2], 0.2));
+/// ```
+pub fn covers_disk(p: &Point, cover: &[Point], r: f64) -> bool {
+    covers_disk_with(p, cover.iter(), r)
+}
+
+/// Fraction of the direction circle around `p` covered by the cover
+/// angles of `cover` — a cheap diagnostic for how close a set is to
+/// covering `A(p)` (1.0 means the Theorem 4 test passes).
+pub fn angular_coverage(p: &Point, cover: &[Point], r: f64) -> f64 {
+    let mut arcs = ArcSet::new();
+    for q in cover {
+        match cover_angle(p, q, r) {
+            CoverAngle::Full => return 1.0,
+            CoverAngle::Partial(a) => arcs.push(a),
+            CoverAngle::Empty => {}
+        }
+    }
+    arcs.covered_measure() / crate::angle::TAU
+}
+
+/// [`covers_disk`] over an iterator of covering points, avoiding the need
+/// to materialize a slice.
+pub fn covers_disk_with<'a, I>(p: &Point, cover: I, r: f64) -> bool
+where
+    I: IntoIterator<Item = &'a Point>,
+{
+    let mut arcs = ArcSet::new();
+    for q in cover {
+        match cover_angle(p, q, r) {
+            CoverAngle::Full => return true,
+            CoverAngle::Partial(a) => arcs.push(a),
+            CoverAngle::Empty => {}
+        }
+    }
+    arcs.covers_full_circle()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::angle::{DEG, TAU};
+    use std::f64::consts::PI;
+
+    const R: f64 = 0.2;
+
+    #[test]
+    fn colocated_nodes_cover_fully() {
+        let p = Point::new(0.5, 0.5);
+        assert_eq!(cover_angle(&p, &p, R), CoverAngle::Full);
+    }
+
+    #[test]
+    fn distant_nodes_cover_nothing() {
+        let p = Point::new(0.0, 0.0);
+        let q = Point::new(0.5, 0.0);
+        assert_eq!(cover_angle(&p, &q, R), CoverAngle::Empty);
+    }
+
+    #[test]
+    fn neighbor_at_exact_radius_covers_one_third() {
+        // d = r ⇒ half-width = arccos(1/2) = 60°, so the arc is 120° wide,
+        // centered on the direction to q.
+        let p = Point::new(0.0, 0.0);
+        let q = Point::new(R, 0.0);
+        match cover_angle(&p, &q, R) {
+            CoverAngle::Partial(a) => {
+                assert!((a.extent - 120.0 * DEG).abs() < 1e-9);
+                assert!((a.midpoint() - 0.0).abs() < 1e-9);
+            }
+            other => panic!("expected partial cover angle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn near_coincident_neighbor_covers_half() {
+        // d → 0 ⇒ half-width → 90°: the cover angle tends to a half circle
+        // (Definition 2 is conservative; only exactly co-located nodes give
+        // the full circle).
+        let p = Point::new(0.0, 0.0);
+        let q = Point::new(1e-6, 0.0);
+        match cover_angle(&p, &q, R) {
+            CoverAngle::Partial(a) => assert!((a.extent - PI).abs() < 1e-4),
+            other => panic!("expected partial cover angle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cover_angle_is_centered_on_direction_to_q() {
+        let p = Point::new(0.3, 0.3);
+        let q = Point::new(0.3, 0.3 + 0.1);
+        match cover_angle(&p, &q, R) {
+            CoverAngle::Partial(a) => {
+                assert!((a.midpoint() - PI / 2.0).abs() < 1e-9);
+            }
+            other => panic!("expected partial cover angle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sector_points_inside_neighbor_disk() {
+        // Every boundary point of A(p) in the cover-angle sector must lie
+        // inside A(q) — the geometric content of Definition 2.
+        let p = Point::new(0.0, 0.0);
+        let q = Point::new(0.13, 0.07);
+        if let CoverAngle::Partial(a) = cover_angle(&p, &q, R) {
+            for i in 0..=64 {
+                let t = a.start + a.extent * i as f64 / 64.0;
+                let boundary = Point::new(R * t.cos(), R * t.sin());
+                assert!(
+                    boundary.within(&q, R + 1e-9),
+                    "boundary point at angle {t} escapes A(q)"
+                );
+            }
+        } else {
+            panic!("expected partial cover angle");
+        }
+    }
+
+    #[test]
+    fn directions_outside_cover_angle_escape_neighbor_disk() {
+        let p = Point::new(0.0, 0.0);
+        let q = Point::new(0.1, 0.0);
+        if let CoverAngle::Partial(a) = cover_angle(&p, &q, R) {
+            // Sample directions strictly outside the arc.
+            for i in 1..32 {
+                let t = a.end() + (TAU - a.extent) * i as f64 / 32.0;
+                if Arc::new(a.start, a.extent).contains(t) {
+                    continue;
+                }
+                let boundary = Point::new(R * t.cos(), R * t.sin());
+                assert!(
+                    !boundary.within(&q, R - 1e-9),
+                    "boundary point at angle {t} should escape A(q)"
+                );
+            }
+        } else {
+            panic!("expected partial cover angle");
+        }
+    }
+
+    #[test]
+    fn three_surrounding_nodes_cover_center() {
+        // Three neighbors at distance 0.1, 120° apart: each cover angle is
+        // 2·arccos(0.25) ≈ 151° wide, so the three cover the circle.
+        let p = Point::new(0.5, 0.5);
+        let cover: Vec<Point> = (0..3)
+            .map(|i| {
+                let a = i as f64 * TAU / 3.0;
+                p.offset(0.1 * a.cos(), 0.1 * a.sin())
+            })
+            .collect();
+        assert!(covers_disk(&p, &cover, R));
+    }
+
+    #[test]
+    fn two_opposite_nodes_do_not_cover() {
+        let p = Point::new(0.5, 0.5);
+        let cover = vec![p.offset(0.1, 0.0), p.offset(-0.1, 0.0)];
+        assert!(!covers_disk(&p, &cover, R));
+    }
+
+    #[test]
+    fn self_in_cover_set_covers() {
+        let p = Point::new(0.5, 0.5);
+        assert!(covers_disk(&p, &[p], R));
+    }
+
+    #[test]
+    fn empty_cover_set_never_covers() {
+        let p = Point::new(0.5, 0.5);
+        assert!(!covers_disk(&p, &[], R));
+    }
+
+    #[test]
+    fn angular_coverage_fractions() {
+        let p = Point::new(0.5, 0.5);
+        assert_eq!(angular_coverage(&p, &[], R), 0.0);
+        assert_eq!(angular_coverage(&p, &[p], R), 1.0);
+        // One neighbor at distance R covers exactly 120°/360° = 1/3.
+        let one = vec![p.offset(R, 0.0)];
+        assert!((angular_coverage(&p, &one, R) - 1.0 / 3.0).abs() < 1e-9);
+        // Two opposite neighbors at 0.1: each covers 2·acos(0.25), no
+        // overlap, so the fraction doubles.
+        let two = vec![p.offset(0.1, 0.0), p.offset(-0.1, 0.0)];
+        let each = 2.0 * (0.25f64).acos() / crate::angle::TAU;
+        assert!((angular_coverage(&p, &two, R) - 2.0 * each).abs() < 1e-9);
+        assert!(angular_coverage(&p, &two, R) < 1.0);
+    }
+
+    #[test]
+    fn far_nodes_contribute_nothing() {
+        let p = Point::new(0.5, 0.5);
+        let cover = vec![Point::new(0.9, 0.9), Point::new(0.1, 0.1)];
+        assert!(!covers_disk(&p, &cover, R));
+    }
+}

@@ -1,0 +1,40 @@
+//! Computational geometry for location-aware multicast MAC protocols.
+//!
+//! This crate implements the geometric machinery of Section 5 of
+//! *"Reliable MAC Layer Multicast in IEEE 802.11 Wireless Networks"*
+//! (Sun, Huang, Arora, Lai — ICPP 2002):
+//!
+//! * [`Point`] — 2-D station positions,
+//! * [`CoverAngle`] / [`cover_angle`] — Definition 2 of the paper: the arc
+//!   of directions around a node `p` whose bounding sector of `A(p)` is
+//!   guaranteed to lie inside a neighbor's coverage disk `A(q)`,
+//! * [`ArcSet`] — unions of circular arcs with an exact full-circle test
+//!   (the angle-based scheme of Theorem 4),
+//! * [`covers_disk`] — the Theorem 4 test `A(p) ⊆ A(C)`,
+//! * [`min_cover_set`] / [`greedy_cover_set`] — cover-set computation
+//!   (Definition 1); `MCS(S)` in the LAMM sender protocol,
+//! * [`update_uncovered`] — the `UPDATE(S, S_ACK)` procedure.
+//!
+//! All stations are assumed to share a transmission radius `R`, exactly as
+//! the paper assumes. Angles are kept in radians internally; helper
+//! conversions to the paper's `[0, 360]` degree notation are provided.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod angle;
+pub mod arcs;
+pub mod cover;
+pub mod coverset;
+pub mod point;
+
+pub use angle::{normalize_angle, Arc, DEG, TAU};
+pub use arcs::ArcSet;
+pub use cover::{angular_coverage, cover_angle, covers_disk, CoverAngle};
+pub use coverset::{greedy_cover_set, is_cover_set, min_cover_set, update_uncovered};
+pub use point::Point;
+
+/// Numerical tolerance used throughout the crate for angle and distance
+/// comparisons. Coordinates in the simulator live in the unit square, so an
+/// absolute epsilon is appropriate.
+pub const EPS: f64 = 1e-9;

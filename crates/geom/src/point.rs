@@ -1,0 +1,118 @@
+//! Planar points / station positions.
+
+use serde::{Deserialize, Serialize};
+
+/// A point in the plane. Stations in the simulator live in the unit square
+/// `[0, 1] × [0, 1]`, but nothing in this crate assumes that.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point from its coordinates.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn dist(&self, other: &Point) -> f64 {
+        self.dist_sq(other).sqrt()
+    }
+
+    /// Squared Euclidean distance to `other`. Cheaper than [`Point::dist`]
+    /// and sufficient for radius comparisons.
+    #[inline]
+    pub fn dist_sq(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Direction (in radians, `[0, 2π)`) of the vector from `self` to
+    /// `other`. Returns `0.0` when the points coincide.
+    #[inline]
+    pub fn direction_to(&self, other: &Point) -> f64 {
+        let a = (other.y - self.y).atan2(other.x - self.x);
+        crate::angle::normalize_angle(a)
+    }
+
+    /// Whether `other` lies within distance `r` (inclusive) of `self`.
+    #[inline]
+    pub fn within(&self, other: &Point, r: f64) -> bool {
+        self.dist_sq(other) <= r * r
+    }
+
+    /// Point at `(self.x + dx, self.y + dy)`.
+    #[inline]
+    pub fn offset(&self, dx: f64, dy: f64) -> Point {
+        Point::new(self.x + dx, self.y + dy)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Point::new(0.1, 0.2);
+        let b = Point::new(0.9, 0.5);
+        assert!((a.dist(&b) - b.dist(&a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_matches_pythagoras() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert!((a.dist(&b) - 5.0).abs() < 1e-12);
+        assert!((a.dist_sq(&b) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn direction_cardinal_axes() {
+        let o = Point::new(0.0, 0.0);
+        assert!((o.direction_to(&Point::new(1.0, 0.0)) - 0.0).abs() < 1e-12);
+        assert!((o.direction_to(&Point::new(0.0, 1.0)) - FRAC_PI_2).abs() < 1e-12);
+        assert!((o.direction_to(&Point::new(-1.0, 0.0)) - PI).abs() < 1e-12);
+        assert!((o.direction_to(&Point::new(0.0, -1.0)) - 3.0 * FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn direction_of_coincident_points_is_zero() {
+        let p = Point::new(0.3, 0.3);
+        assert_eq!(p.direction_to(&p), 0.0);
+    }
+
+    #[test]
+    fn within_is_inclusive() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(0.2, 0.0);
+        assert!(a.within(&b, 0.2));
+        assert!(!a.within(&b, 0.19999));
+    }
+
+    #[test]
+    fn offset_moves_point() {
+        let p = Point::new(1.0, 2.0).offset(-0.5, 0.25);
+        assert_eq!(p, Point::new(0.5, 2.25));
+    }
+
+    #[test]
+    fn from_tuple() {
+        let p: Point = (0.25, 0.75).into();
+        assert_eq!(p, Point::new(0.25, 0.75));
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based tests for the geometry substrate.
+
+use proptest::prelude::*;
+use rmm_geom::{
+    cover_angle, covers_disk, greedy_cover_set, is_cover_set, min_cover_set, update_uncovered, Arc,
+    ArcSet, CoverAngle, Point, TAU,
+};
+
+const R: f64 = 0.2;
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (0.0f64..1.0, 0.0f64..1.0).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn arb_arc() -> impl Strategy<Value = Arc> {
+    (0.0f64..TAU, 0.0f64..TAU).prop_map(|(s, e)| Arc::new(s, e))
+}
+
+proptest! {
+    /// An arc always contains its own start, end and midpoint.
+    #[test]
+    fn arc_contains_its_own_landmarks(arc in arb_arc()) {
+        if !arc.is_empty() {
+            prop_assert!(arc.contains(arc.start));
+            prop_assert!(arc.contains(arc.end()));
+            prop_assert!(arc.contains(arc.midpoint()));
+        }
+    }
+
+    /// Union coverage agrees with dense pointwise sampling of `contains`.
+    #[test]
+    fn arcset_full_circle_matches_sampling(arcs in prop::collection::vec(arb_arc(), 0..8)) {
+        let set = ArcSet::from_arcs(arcs);
+        let covered_everywhere = (0..720).all(|i| {
+            // Sample slightly off the lattice to dodge endpoint epsilons.
+            set.contains(i as f64 * TAU / 720.0 + 1e-4)
+        });
+        if set.covers_full_circle() {
+            prop_assert!(covered_everywhere);
+        }
+        // And a definite gap direction must not be reported as covered.
+        if !set.covers_full_circle() {
+            let gaps = set.gaps();
+            prop_assert!(!gaps.is_empty());
+            let mid = gaps[0].midpoint();
+            if gaps[0].extent > 1e-6 {
+                prop_assert!(!set.contains(mid));
+            }
+        }
+    }
+
+    /// Covered measure plus gap measure equals the full circle.
+    #[test]
+    fn measure_plus_gaps_is_tau(arcs in prop::collection::vec(arb_arc(), 0..8)) {
+        let set = ArcSet::from_arcs(arcs);
+        let gap_total: f64 = set.gaps().iter().map(|g| g.extent).sum();
+        prop_assert!((set.covered_measure() + gap_total - TAU).abs() < 1e-6);
+    }
+
+    /// Every boundary direction inside a cover angle maps to a boundary
+    /// point of A(p) lying inside A(q): the defining property of Def. 2.
+    #[test]
+    fn cover_angle_sector_is_inside_neighbor(p in arb_point(), q in arb_point()) {
+        match cover_angle(&p, &q, R) {
+            CoverAngle::Partial(a) => {
+                for i in 0..=16 {
+                    let t = a.start + a.extent * i as f64 / 16.0;
+                    let boundary = p.offset(R * t.cos(), R * t.sin());
+                    prop_assert!(boundary.within(&q, R + 1e-7));
+                }
+            }
+            CoverAngle::Full => prop_assert!(p.dist(&q) < 1e-9),
+            CoverAngle::Empty => prop_assert!(p.dist(&q) > R - 1e-9),
+        }
+    }
+
+    /// Theorem 4 is sound in the simulator's disk model: whenever the angle
+    /// test says A(p) is covered, every sampled point of A(p) lies in some
+    /// covering disk.
+    #[test]
+    fn covers_disk_soundness(p in arb_point(), cover in prop::collection::vec(arb_point(), 0..8)) {
+        if covers_disk(&p, &cover, R) {
+            for i in 0..24 {
+                let ang = i as f64 * TAU / 24.0;
+                for rad in [0.25 * R, 0.6 * R, 0.999 * R] {
+                    let sample = p.offset(rad * ang.cos(), rad * ang.sin());
+                    prop_assert!(
+                        cover.iter().any(|c| c.within(&sample, R + 1e-7)),
+                        "sample at angle {ang}, radius {rad} not covered"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Both cover-set constructions always return genuine cover sets, and
+    /// the exact search is never larger than greedy on small instances.
+    #[test]
+    fn cover_sets_are_cover_sets(pts in prop::collection::vec(arb_point(), 1..10)) {
+        let set: Vec<usize> = (0..pts.len()).collect();
+        let exact = min_cover_set(&pts, &set, R);
+        let greedy = greedy_cover_set(&pts, &set, R);
+        prop_assert!(is_cover_set(&pts, &set, &exact, R));
+        prop_assert!(is_cover_set(&pts, &set, &greedy, R));
+        prop_assert!(exact.len() <= greedy.len());
+        prop_assert!(!exact.is_empty());
+        // Results are subsets of the input set.
+        prop_assert!(exact.iter().all(|i| set.contains(i)));
+        prop_assert!(greedy.iter().all(|i| set.contains(i)));
+    }
+
+    /// UPDATE(S, S_ACK) never returns acked nodes, returns a subset of S,
+    /// and returns all of S when nothing was acked (unless S is empty).
+    #[test]
+    fn update_invariants(pts in prop::collection::vec(arb_point(), 1..10), ack_mask in 0u32..1024) {
+        let set: Vec<usize> = (0..pts.len()).collect();
+        let acked: Vec<usize> = set
+            .iter()
+            .copied()
+            .filter(|&i| ack_mask & (1 << i) != 0)
+            .collect();
+        let rem = update_uncovered(&pts, &set, &acked, R);
+        prop_assert!(rem.iter().all(|i| set.contains(i)));
+        prop_assert!(rem.iter().all(|i| !acked.contains(i)));
+        if acked.is_empty() {
+            prop_assert_eq!(rem.len(), set.len());
+        }
+        // Soundness: a node reported covered really had its disk covered.
+        for &p in set.iter().filter(|i| !rem.contains(i) && !acked.contains(i)) {
+            let cover: Vec<Point> = acked.iter().map(|&i| pts[i]).collect();
+            prop_assert!(covers_disk(&pts[p], &cover, R));
+        }
+    }
+
+    /// If S' is a cover set of S then UPDATE(S, S') empties S.
+    #[test]
+    fn cover_set_acks_empty_update(pts in prop::collection::vec(arb_point(), 1..9)) {
+        let set: Vec<usize> = (0..pts.len()).collect();
+        let mcs = min_cover_set(&pts, &set, R);
+        let rem = update_uncovered(&pts, &set, &mcs, R);
+        prop_assert!(rem.is_empty(), "MCS acked but UPDATE left {rem:?}");
+    }
+}

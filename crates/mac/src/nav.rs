@@ -1,0 +1,157 @@
+//! The Network Allocation Vector (virtual carrier sense).
+//!
+//! The paper's receiver rule: "if a node q receives a control frame
+//! (RTS/CTS/RAK/ACK) not intended for it, q yields for Duration time
+//! specified in the control frame". The NAV tracks such reservations;
+//! while one is pending the station is *in yield state* — it neither
+//! contends nor answers polls.
+//!
+//! One refinement the paper leaves implicit but its protocols require:
+//! reservations are tracked *per message*. A BMMM batch member overhears
+//! the RTS/CTS/RAK/ACK frames addressed to its sibling receivers; were
+//! those to put it in yield state it could never answer its own poll and
+//! the batch would deadlock. This is the 802.11 "same TXOP" exception:
+//! a station never yields against the message it is itself a participant
+//! of ([`Nav::yielding_except`]), while contention ([`Nav::yielding`])
+//! honors every reservation.
+
+use rmm_sim::{MsgId, Slot};
+
+/// Virtual carrier-sense state: per-message medium reservations.
+#[derive(Debug, Clone, Default)]
+pub struct Nav {
+    /// `(message, reserved-until)` pairs; at most one entry per message.
+    entries: Vec<(MsgId, Slot)>,
+}
+
+impl Nav {
+    /// A clear NAV.
+    pub fn new() -> Self {
+        Nav::default()
+    }
+
+    /// Extends the reservation of `msg` to cover `duration` slots
+    /// starting at `now` (the slot at which the reserving frame ended).
+    /// Shorter reservations never shrink an existing one.
+    pub fn reserve(&mut self, now: Slot, duration: u32, msg: MsgId) {
+        let until = now + Slot::from(duration);
+        if until <= now {
+            return;
+        }
+        self.entries.retain(|&(_, u)| u > now);
+        if let Some(entry) = self.entries.iter_mut().find(|(m, _)| *m == msg) {
+            if until > entry.1 {
+                entry.1 = until;
+            }
+        } else {
+            self.entries.push((msg, until));
+        }
+    }
+
+    /// Whether the station is yielding at slot `now` (used for physical
+    /// + virtual carrier sense during contention).
+    pub fn yielding(&self, now: Slot) -> bool {
+        self.entries.iter().any(|&(_, until)| now < until)
+    }
+
+    /// Whether the station is yielding at slot `now` against any message
+    /// *other than* `msg`. Used when deciding whether to answer a poll
+    /// (RTS/RAK/data) belonging to `msg`.
+    pub fn yielding_except(&self, now: Slot, msg: MsgId) -> bool {
+        self.entries
+            .iter()
+            .any(|&(m, until)| m != msg && now < until)
+    }
+
+    /// The first slot at which all reservations lapse.
+    pub fn clear_at(&self) -> Slot {
+        self.entries.iter().map(|&(_, u)| u).max().unwrap_or(0)
+    }
+
+    /// Drops every reservation.
+    pub fn reset(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmm_sim::NodeId;
+
+    fn msg(n: u32) -> MsgId {
+        MsgId::new(NodeId(n), 0)
+    }
+
+    #[test]
+    fn fresh_nav_is_clear() {
+        let nav = Nav::new();
+        assert!(!nav.yielding(0));
+        assert!(!nav.yielding(1000));
+    }
+
+    #[test]
+    fn reserve_covers_duration() {
+        let mut nav = Nav::new();
+        nav.reserve(10, 5, msg(1));
+        assert!(nav.yielding(10));
+        assert!(nav.yielding(14));
+        assert!(!nav.yielding(15));
+        assert_eq!(nav.clear_at(), 15);
+    }
+
+    #[test]
+    fn zero_duration_reserves_nothing() {
+        let mut nav = Nav::new();
+        nav.reserve(10, 0, msg(1));
+        assert!(!nav.yielding(10));
+    }
+
+    #[test]
+    fn longer_reservation_wins_within_message() {
+        let mut nav = Nav::new();
+        nav.reserve(10, 20, msg(1));
+        nav.reserve(12, 3, msg(1)); // ends at 15 — must not shrink
+        assert!(nav.yielding(29));
+        assert!(!nav.yielding(30));
+    }
+
+    #[test]
+    fn same_message_is_exempt() {
+        let mut nav = Nav::new();
+        nav.reserve(10, 20, msg(1));
+        assert!(nav.yielding(15));
+        assert!(!nav.yielding_except(15, msg(1)));
+        assert!(nav.yielding_except(15, msg(2)));
+    }
+
+    #[test]
+    fn other_message_still_blocks() {
+        let mut nav = Nav::new();
+        nav.reserve(10, 20, msg(1));
+        nav.reserve(10, 5, msg(2));
+        // At slot 12 both reservations pend: neither message is fully
+        // exempt because the other one is still live.
+        assert!(nav.yielding_except(12, msg(1)));
+        assert!(nav.yielding_except(12, msg(2)));
+        // After msg(2)'s reservation lapses, msg(1) is exempt again.
+        assert!(!nav.yielding_except(16, msg(1)));
+    }
+
+    #[test]
+    fn expired_entries_are_pruned_on_reserve() {
+        let mut nav = Nav::new();
+        nav.reserve(0, 5, msg(1));
+        nav.reserve(10, 5, msg(2)); // prunes msg(1) (expired at 5)
+        assert_eq!(nav.clear_at(), 15);
+        assert!(!nav.yielding_except(12, msg(2)));
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut nav = Nav::new();
+        nav.reserve(0, 100, msg(1));
+        nav.reset();
+        assert!(!nav.yielding(1));
+    }
+}

@@ -1,0 +1,650 @@
+//! The MAC station: glue between the simulator's [`Station`] trait, the
+//! shared receiver behaviour (CTS/ACK/NAK replies, NAV yielding,
+//! promiscuous data caching) and the per-protocol sender FSMs.
+
+use crate::contention::{next_cw, Contention};
+use crate::nav::Nav;
+use crate::protocols::{Env, Flow, Fsm, ProtocolKind};
+use crate::request::{Request, TrafficKind};
+use crate::stats::{NodeCounters, Outcome, SentRecord};
+use crate::timing::MacTiming;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rmm_geom::Point;
+use rmm_sim::{Ctx, Dest, Frame, FrameInfo, FrameKind, MsgId, NodeId, Slot, Station, Topology};
+use std::collections::{HashSet, VecDeque};
+use std::sync::Arc;
+
+/// Receiver-side wait-for-data state (BSMA): after answering a group RTS
+/// with a CTS, the receiver expects the data by `deadline` and NAKs the
+/// sender otherwise.
+#[derive(Debug, Clone)]
+struct WaitData {
+    msg: MsgId,
+    sender: NodeId,
+    deadline: Slot,
+}
+
+/// Node state shared between the receiver logic and the sender FSMs.
+#[derive(Debug)]
+pub struct NodeCore {
+    /// This station's id.
+    pub id: NodeId,
+    /// Protocol under test for multicast/broadcast traffic.
+    pub protocol: ProtocolKind,
+    /// MAC timing parameters.
+    pub timing: MacTiming,
+    neighbors: Vec<NodeId>,
+    positions: Arc<Vec<Point>>,
+    radius: f64,
+    /// Station-local randomness (backoff draws).
+    pub rng: SmallRng,
+    /// Virtual carrier sense.
+    pub nav: Nav,
+    /// End of this station's own transmission, if one is on the air.
+    pub tx_until: Slot,
+    received: HashSet<MsgId>,
+    wait_data: Vec<WaitData>,
+    /// Running counters.
+    pub counters: NodeCounters,
+    records: Vec<SentRecord>,
+    seq: u32,
+}
+
+impl NodeCore {
+    /// All station positions (beacon-learned; LAMM reads only neighbors').
+    pub fn positions(&self) -> &[Point] {
+        &self.positions
+    }
+
+    /// Shared transmission radius.
+    pub fn radius(&self) -> f64 {
+        self.radius
+    }
+
+    /// This station's neighbors.
+    pub fn neighbors(&self) -> &[NodeId] {
+        &self.neighbors
+    }
+
+    /// Data messages this station has decoded.
+    pub fn received(&self) -> &HashSet<MsgId> {
+        &self.received
+    }
+
+    /// Puts a frame on the air with node-level bookkeeping. Used by both
+    /// the sender FSMs (via [`Env::send`]) and receiver responses.
+    pub fn transmit(&mut self, ctx: &mut Ctx<'_>, frame: Frame) {
+        debug_assert!(self.tx_until <= ctx.now);
+        self.tx_until = ctx.now + Slot::from(frame.slots);
+        self.counters.frames_sent += 1;
+        self.counters.sent_by_kind.bump(frame.kind);
+        ctx.send(frame);
+    }
+}
+
+/// The sender side of one in-service message.
+#[derive(Debug)]
+struct Active {
+    req: Request,
+    started: Slot,
+    phases: u32,
+    cw: u32,
+    contention: Contention,
+    contending: bool,
+    fsm: Fsm,
+    data_tx: u32,
+    control_tx: u32,
+}
+
+/// A complete MAC station.
+#[derive(Debug)]
+pub struct MacNode {
+    core: NodeCore,
+    queue: VecDeque<Request>,
+    active: Option<Active>,
+}
+
+enum DriveMode {
+    None,
+    Access,
+    Slot,
+}
+
+impl MacNode {
+    /// Builds a station. `topo` provides neighbors and positions; `seed`
+    /// derives the station's private RNG stream.
+    pub fn new(
+        id: NodeId,
+        protocol: ProtocolKind,
+        timing: MacTiming,
+        topo: &Topology,
+        positions: Arc<Vec<Point>>,
+        seed: u64,
+    ) -> Self {
+        MacNode {
+            core: NodeCore {
+                id,
+                protocol,
+                timing,
+                neighbors: topo.neighbors(id).to_vec(),
+                positions,
+                radius: topo.radius(),
+                rng: SmallRng::seed_from_u64(seed ^ (u64::from(id.0) << 32) ^ 0x9e37_79b9),
+                nav: Nav::new(),
+                tx_until: 0,
+                received: HashSet::new(),
+                wait_data: Vec::new(),
+                counters: NodeCounters::default(),
+                records: Vec::new(),
+                seq: 0,
+            },
+            queue: VecDeque::new(),
+            active: None,
+        }
+    }
+
+    /// Builds one station per topology node, all running `protocol`.
+    pub fn build_network(
+        topo: &Topology,
+        protocol: ProtocolKind,
+        timing: MacTiming,
+        seed: u64,
+    ) -> Vec<MacNode> {
+        let positions = Arc::new(topo.positions().to_vec());
+        Self::build_network_with_positions(topo, positions, protocol, timing, seed)
+    }
+
+    /// Builds the network with an explicit *advertised* position table —
+    /// what stations learned from beacons, which may differ from the
+    /// channel's ground truth (GPS error). LAMM reads only this table.
+    pub fn build_network_with_positions(
+        topo: &Topology,
+        advertised: Arc<Vec<Point>>,
+        protocol: ProtocolKind,
+        timing: MacTiming,
+        seed: u64,
+    ) -> Vec<MacNode> {
+        assert_eq!(advertised.len(), topo.len());
+        (0..topo.len() as u32)
+            .map(|i| {
+                MacNode::new(
+                    NodeId(i),
+                    protocol,
+                    timing,
+                    topo,
+                    Arc::clone(&advertised),
+                    seed,
+                )
+            })
+            .collect()
+    }
+
+    /// Shared node state (tests and harnesses).
+    pub fn core(&self) -> &NodeCore {
+        &self.core
+    }
+
+    /// Sender-side records accumulated so far.
+    pub fn records(&self) -> &[SentRecord] {
+        &self.core.records
+    }
+
+    /// Data messages this station decoded.
+    pub fn received(&self) -> &HashSet<MsgId> {
+        &self.core.received
+    }
+
+    /// Running counters.
+    pub fn counters(&self) -> NodeCounters {
+        self.core.counters
+    }
+
+    /// Queued (not yet serviced) requests.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len() + usize::from(self.active.is_some())
+    }
+
+    /// Beacon refresh: adopts the current neighbor table and advertised
+    /// position map, as a round of beacon exchanges would. Called by the
+    /// mobile runner every beacon period; in-flight exchanges keep their
+    /// already-resolved receiver lists (stale, as in reality).
+    pub fn refresh_neighbors(&mut self, topo: &Topology, advertised: Arc<Vec<Point>>) {
+        self.core.neighbors = topo.neighbors(self.core.id).to_vec();
+        self.core.positions = advertised;
+    }
+
+    /// Enqueues a MAC request arriving at slot `now`; returns its id.
+    pub fn enqueue(&mut self, kind: TrafficKind, receivers: Vec<NodeId>, now: Slot) -> MsgId {
+        let msg = MsgId::new(self.core.id, self.core.seq);
+        self.core.seq += 1;
+        self.queue
+            .push_back(Request::new(msg, kind, receivers, now));
+        msg
+    }
+
+    /// Converts any in-flight and queued messages into records at the end
+    /// of a run, so the harness sees every request.
+    pub fn drain_unfinished(&mut self, now: Slot) {
+        if let Some(active) = self.active.take() {
+            let outcome = if active.req.timed_out(now, self.core.timing.timeout) {
+                Outcome::TimedOut(now)
+            } else {
+                Outcome::Pending
+            };
+            self.finish(active, outcome);
+        }
+        while let Some(req) = self.queue.pop_front() {
+            let outcome = if req.timed_out(now, self.core.timing.timeout) {
+                Outcome::TimedOut(now)
+            } else {
+                Outcome::Pending
+            };
+            self.core.records.push(SentRecord {
+                msg: req.msg,
+                kind: req.kind,
+                intended: req.receivers.clone(),
+                arrival: req.arrival,
+                started: None,
+                outcome,
+                contention_phases: 0,
+                data_tx: 0,
+                control_tx: 0,
+                acked: Vec::new(),
+                assumed_covered: Vec::new(),
+            });
+        }
+    }
+
+    fn finish(&mut self, active: Active, outcome: Outcome) {
+        self.core.records.push(SentRecord {
+            msg: active.req.msg,
+            kind: active.req.kind,
+            intended: active.req.receivers.clone(),
+            arrival: active.req.arrival,
+            started: Some(active.started),
+            outcome,
+            contention_phases: active.phases,
+            data_tx: active.data_tx,
+            control_tx: active.control_tx,
+            acked: active.fsm.acked().to_vec(),
+            assumed_covered: active.fsm.assumed_covered().to_vec(),
+        });
+    }
+
+    /// Pops the next serviceable request (recording stale ones as timed
+    /// out without service) and begins its first contention phase.
+    fn start_next(&mut self, now: Slot) {
+        debug_assert!(self.active.is_none());
+        while let Some(req) = self.queue.pop_front() {
+            if req.timed_out(now, self.core.timing.timeout) {
+                self.core.records.push(SentRecord {
+                    msg: req.msg,
+                    kind: req.kind,
+                    intended: req.receivers.clone(),
+                    arrival: req.arrival,
+                    started: None,
+                    outcome: Outcome::TimedOut(now),
+                    contention_phases: 0,
+                    data_tx: 0,
+                    control_tx: 0,
+                    acked: Vec::new(),
+                    assumed_covered: Vec::new(),
+                });
+                continue;
+            }
+            let fsm = Fsm::for_request(self.core.protocol, &req);
+            let cw = self.core.timing.cw_min;
+            let mut contention = Contention::idle();
+            contention.begin(cw, &mut self.core.rng);
+            self.core.counters.contention_phases += 1;
+            self.active = Some(Active {
+                req,
+                started: now,
+                phases: 1,
+                cw,
+                contention,
+                contending: true,
+                fsm,
+                data_tx: 0,
+                control_tx: 0,
+            });
+            return;
+        }
+    }
+
+    /// Runs one FSM callback with the split-borrow dance, then applies the
+    /// resulting [`Flow`].
+    fn drive_fsm<F>(&mut self, ctx: &mut Ctx<'_>, f: F)
+    where
+        F: FnOnce(&mut Fsm, &mut Env<'_, '_>) -> Flow,
+    {
+        let Some(mut active) = self.active.take() else {
+            return;
+        };
+        let flow = {
+            let Active {
+                fsm,
+                req,
+                data_tx,
+                control_tx,
+                ..
+            } = &mut active;
+            let mut env = Env {
+                core: &mut self.core,
+                ctx,
+                req,
+                data_tx,
+                control_tx,
+            };
+            f(fsm, &mut env)
+        };
+        match flow {
+            Flow::Continue => self.active = Some(active),
+            Flow::Recontend { reset_cw } => {
+                active.cw = if reset_cw {
+                    self.core.timing.cw_min
+                } else {
+                    next_cw(active.cw, self.core.timing.cw_max)
+                };
+                active.contention.begin(active.cw, &mut self.core.rng);
+                active.contending = true;
+                active.phases += 1;
+                self.core.counters.contention_phases += 1;
+                self.active = Some(active);
+            }
+            Flow::Complete => self.finish(active, Outcome::Completed(ctx.now)),
+            Flow::Abort => self.finish(active, Outcome::Failed(ctx.now)),
+        }
+    }
+
+    /// Whether the station may transmit a receiver response right now.
+    fn can_respond(&self, now: Slot) -> bool {
+        self.core.tx_until <= now && self.active.as_ref().is_none_or(|a| a.contending)
+    }
+
+    /// Sends a receiver-side response frame.
+    fn respond(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        kind: FrameKind,
+        to: NodeId,
+        duration: u32,
+        msg: MsgId,
+        info: FrameInfo,
+    ) {
+        let frame = Frame {
+            kind,
+            src: self.core.id,
+            dest: Dest::Node(to),
+            duration,
+            msg,
+            slots: self.core.timing.control_slots,
+            info,
+        };
+        self.core.transmit(ctx, frame);
+    }
+
+    /// BSMA receiver rule 2: NAK the sender when the promised data never
+    /// arrived within WAIT_FOR_DATA.
+    fn flush_wait_data(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now;
+        if self.core.wait_data.is_empty() {
+            return;
+        }
+        let mut due: Vec<(NodeId, MsgId)> = Vec::new();
+        self.core.wait_data.retain(|w| {
+            if w.deadline <= now {
+                if !self.core.received.contains(&w.msg) {
+                    due.push((w.sender, w.msg));
+                }
+                false
+            } else {
+                true
+            }
+        });
+        for (sender, msg) in due {
+            if self.core.nav.yielding(now) {
+                self.core.counters.yield_suppressions += 1;
+            } else if self.can_respond(now) {
+                self.respond(ctx, FrameKind::Nak, sender, 0, msg, FrameInfo::None);
+                // Only one response per slot.
+                break;
+            }
+        }
+    }
+
+    fn handle_receive(&mut self, frame: &Frame, ctx: &mut Ctx<'_>) {
+        let now = ctx.now;
+        self.core.counters.frames_received += 1;
+        let addressed = frame.dest.addresses(self.core.id);
+        match frame.kind {
+            // Sender-relevant responses.
+            FrameKind::Cts | FrameKind::Ack | FrameKind::Nak => {
+                if addressed {
+                    let relevant = self.active.as_ref().is_some_and(|a| !a.contending);
+                    if relevant {
+                        self.drive_fsm(ctx, |fsm, env| fsm.on_frame(frame, env));
+                    }
+                } else {
+                    if self.core.timing.nav_enabled {
+                        self.core.nav.reserve(now, frame.duration, frame.msg);
+                    }
+                }
+            }
+            FrameKind::Data => {
+                self.core.counters.data_received += 1;
+                // Promiscuous caching: any decoded data frame enters the
+                // receive buffer (this is what lets BMW's have-flag
+                // suppress redundant retransmissions).
+                self.core.received.insert(frame.msg);
+                self.core.wait_data.retain(|w| w.msg != frame.msg);
+                if frame.dest.node() == Some(self.core.id) {
+                    // Unicast-style data (DCF / BMW): ACK after SIFS.
+                    if self.can_respond(now) {
+                        self.respond(
+                            ctx,
+                            FrameKind::Ack,
+                            frame.src,
+                            0,
+                            frame.msg,
+                            FrameInfo::None,
+                        );
+                    }
+                } else if self.core.protocol == ProtocolKind::BmmmUncoordinated
+                    && addressed
+                    && matches!(&frame.dest, Dest::Group(_))
+                {
+                    // Uncoordinated-BMMM ablation: every receiver ACKs
+                    // the group data immediately. These ACKs are
+                    // synchronized and collide — the failure mode the
+                    // RAK train exists to prevent.
+                    if self.can_respond(now) {
+                        self.respond(
+                            ctx,
+                            FrameKind::Ack,
+                            frame.src,
+                            0,
+                            frame.msg,
+                            FrameInfo::None,
+                        );
+                    }
+                } else if self.core.protocol == ProtocolKind::LeaderBased
+                    && matches!(&frame.dest, Dest::Group(g) if g.first() == Some(&self.core.id))
+                {
+                    // Leader-based multicast: the group leader ACKs the
+                    // data on behalf of everyone. A non-leader that
+                    // missed it jams this ACK slot with a NAK (scheduled
+                    // when the RTS arrived).
+                    if self.can_respond(now) {
+                        self.respond(
+                            ctx,
+                            FrameKind::Ack,
+                            frame.src,
+                            0,
+                            frame.msg,
+                            FrameInfo::None,
+                        );
+                    }
+                } else if !addressed && self.core.timing.nav_enabled {
+                    self.core.nav.reserve(now, frame.duration, frame.msg);
+                }
+            }
+            FrameKind::Rts => {
+                if addressed {
+                    if self.core.nav.yielding_except(now, frame.msg) {
+                        self.core.counters.yield_suppressions += 1;
+                    } else if self.can_respond(now) {
+                        let dur = frame
+                            .duration
+                            .saturating_sub(self.core.timing.control_slots);
+                        match &frame.dest {
+                            Dest::Node(_) => {
+                                // DCF / BMW / BMMM poll: CTS carries the
+                                // receive-buffer state (BMW reads it; the
+                                // others ignore it).
+                                let have = self.core.received.contains(&frame.msg);
+                                let dur = if have { 0 } else { dur };
+                                self.respond(
+                                    ctx,
+                                    FrameKind::Cts,
+                                    frame.src,
+                                    dur,
+                                    frame.msg,
+                                    FrameInfo::BmwCts { have },
+                                );
+                            }
+                            Dest::Group(group) => {
+                                let is_leader_protocol =
+                                    self.core.protocol == ProtocolKind::LeaderBased;
+                                let is_leader = group.first() == Some(&self.core.id);
+                                if is_leader_protocol && !is_leader {
+                                    // Non-leader under the leader scheme:
+                                    // stay silent now, but arm the
+                                    // ACK-slot jam in case the data never
+                                    // arrives.
+                                    if !self.core.received.contains(&frame.msg) {
+                                        let t = self.core.timing;
+                                        let deadline = now
+                                            + Slot::from(t.control_slots)
+                                            + Slot::from(t.data_slots);
+                                        if !self.core.wait_data.iter().any(|w| w.msg == frame.msg) {
+                                            self.core.wait_data.push(WaitData {
+                                                msg: frame.msg,
+                                                sender: frame.src,
+                                                deadline,
+                                            });
+                                        }
+                                    }
+                                } else {
+                                    // Tang–Gerla / BSMA: every intended
+                                    // receiver answers at once; leader
+                                    // scheme: only the leader answers.
+                                    self.respond(
+                                        ctx,
+                                        FrameKind::Cts,
+                                        frame.src,
+                                        dur,
+                                        frame.msg,
+                                        FrameInfo::None,
+                                    );
+                                    if self.core.protocol == ProtocolKind::Bsma
+                                        && !self.core.received.contains(&frame.msg)
+                                    {
+                                        let t = self.core.timing;
+                                        let deadline = now
+                                            + Slot::from(t.control_slots)
+                                            + Slot::from(t.data_slots);
+                                        if !self.core.wait_data.iter().any(|w| w.msg == frame.msg) {
+                                            self.core.wait_data.push(WaitData {
+                                                msg: frame.msg,
+                                                sender: frame.src,
+                                                deadline,
+                                            });
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                } else {
+                    if self.core.timing.nav_enabled {
+                        self.core.nav.reserve(now, frame.duration, frame.msg);
+                    }
+                }
+            }
+            FrameKind::Rak => {
+                if addressed {
+                    if self.core.nav.yielding_except(now, frame.msg) {
+                        self.core.counters.yield_suppressions += 1;
+                    } else if self.core.received.contains(&frame.msg) && self.can_respond(now) {
+                        let dur = frame
+                            .duration
+                            .saturating_sub(self.core.timing.control_slots);
+                        self.respond(
+                            ctx,
+                            FrameKind::Ack,
+                            frame.src,
+                            dur,
+                            frame.msg,
+                            FrameInfo::None,
+                        );
+                    }
+                } else {
+                    if self.core.timing.nav_enabled {
+                        self.core.nav.reserve(now, frame.duration, frame.msg);
+                    }
+                }
+            }
+        }
+    }
+
+    fn slot(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now;
+        self.flush_wait_data(ctx);
+
+        if self.active.is_none() {
+            self.start_next(now);
+        }
+
+        // Service timeout (measured from arrival).
+        if self
+            .active
+            .as_ref()
+            .is_some_and(|a| a.req.timed_out(now, self.core.timing.timeout))
+        {
+            let active = self.active.take().expect("checked above");
+            self.finish(active, Outcome::TimedOut(now));
+            self.start_next(now);
+        }
+
+        let mode = match &mut self.active {
+            Some(a) if a.contending => {
+                let busy = ctx.busy || self.core.nav.yielding(now) || self.core.tx_until > now;
+                if a.contention.poll(busy, self.core.timing.difs) {
+                    a.contending = false;
+                    DriveMode::Access
+                } else {
+                    DriveMode::None
+                }
+            }
+            Some(_) => DriveMode::Slot,
+            None => DriveMode::None,
+        };
+        match mode {
+            DriveMode::Access => self.drive_fsm(ctx, |fsm, env| fsm.on_access(env)),
+            DriveMode::Slot => self.drive_fsm(ctx, |fsm, env| fsm.on_slot(env)),
+            DriveMode::None => {}
+        }
+    }
+}
+
+impl Station for MacNode {
+    fn on_receive(&mut self, frame: &Frame, _captured: bool, ctx: &mut Ctx<'_>) {
+        self.handle_receive(frame, ctx);
+    }
+
+    fn on_slot(&mut self, ctx: &mut Ctx<'_>) {
+        self.slot(ctx);
+    }
+}

@@ -1,0 +1,107 @@
+//! BSMA \[20\]: the Tang–Gerla protocol augmented with a NAK. After the
+//! data frame the sender waits WAIT_FOR_NAK; receivers that returned a
+//! CTS but then missed the data transmit a NAK (these, too, collide and
+//! are subject to capture). A heard NAK sends the sender back into
+//! contention to retransmit; silence is treated as success — which is why
+//! BSMA is "not logically reliable": receivers that never made it into
+//! the CTS exchange cannot complain.
+
+use super::{Env, Flow};
+use rmm_sim::{Dest, Frame, FrameKind, Slot};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Idle,
+    /// Multicast RTS sent; CTS window closes at `at`.
+    AwaitCts,
+    /// Data sent; NAK window closes at `at`.
+    AwaitNak,
+}
+
+/// BSMA multicast sender.
+#[derive(Debug)]
+pub struct BsmaFsm {
+    phase: Phase,
+    at: Slot,
+    cts_any: bool,
+    nak_seen: bool,
+}
+
+impl BsmaFsm {
+    /// New sender.
+    pub fn new() -> Self {
+        BsmaFsm {
+            phase: Phase::Idle,
+            at: 0,
+            cts_any: false,
+            nak_seen: false,
+        }
+    }
+
+    pub(super) fn on_access(&mut self, env: &mut Env<'_, '_>) -> Flow {
+        if env.req.receivers.is_empty() {
+            return Flow::Complete;
+        }
+        let t = env.timing();
+        self.cts_any = false;
+        self.nak_seen = false;
+        env.send_control(
+            FrameKind::Rts,
+            Dest::group(env.req.receivers.clone()),
+            t.bsma_rts_duration(),
+        );
+        self.phase = Phase::AwaitCts;
+        self.at = env.response_deadline(t.control_slots);
+        Flow::Continue
+    }
+
+    pub(super) fn on_slot(&mut self, env: &mut Env<'_, '_>) -> Flow {
+        if env.now() != self.at || self.phase == Phase::Idle {
+            return Flow::Continue;
+        }
+        match self.phase {
+            Phase::AwaitCts => {
+                if self.cts_any {
+                    let t = env.timing();
+                    // Duration covers the NAK window after the data.
+                    env.send_data(Dest::group(env.req.receivers.clone()), t.control_slots);
+                    self.phase = Phase::AwaitNak;
+                    self.at = env.response_deadline(t.data_slots);
+                    Flow::Continue
+                } else {
+                    self.phase = Phase::Idle;
+                    Flow::Recontend { reset_cw: false }
+                }
+            }
+            Phase::AwaitNak => {
+                self.phase = Phase::Idle;
+                if self.nak_seen {
+                    // A receiver reported a transmission problem: back off
+                    // and retransmit the whole exchange.
+                    Flow::Recontend { reset_cw: false }
+                } else {
+                    Flow::Complete
+                }
+            }
+            Phase::Idle => Flow::Continue,
+        }
+    }
+
+    pub(super) fn on_frame(&mut self, frame: &Frame, env: &mut Env<'_, '_>) -> Flow {
+        if frame.msg != env.req.msg {
+            return Flow::Continue;
+        }
+        match (self.phase, frame.kind) {
+            (Phase::AwaitCts, FrameKind::Cts) => self.cts_any = true,
+            (Phase::AwaitNak, FrameKind::Nak) => self.nak_seen = true,
+            _ => {}
+        }
+        Flow::Continue
+    }
+}
+
+impl Default for BsmaFsm {
+    fn default() -> Self {
+        BsmaFsm::new()
+    }
+}

@@ -1,0 +1,91 @@
+//! IEEE 802.11 DCF unicast: CSMA/CA + RTS/CTS/DATA/ACK with binary
+//! exponential backoff and a retry limit. All protocols in the suite use
+//! this machine for the unicast share of the traffic mix.
+
+use super::{Env, Flow};
+use rmm_sim::{Dest, Frame, FrameKind, NodeId, Slot};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Between contention phases; nothing in flight.
+    Idle,
+    /// RTS sent; CTS must be delivered by `at`.
+    AwaitCts,
+    /// DATA sent; ACK must be delivered by `at`.
+    AwaitAck,
+}
+
+/// DCF unicast sender.
+#[derive(Debug)]
+pub struct DcfFsm {
+    target: NodeId,
+    phase: Phase,
+    at: Slot,
+    retries: u32,
+    acked: Vec<NodeId>,
+}
+
+impl DcfFsm {
+    /// New sender for a single `target`.
+    pub fn new(target: NodeId) -> Self {
+        DcfFsm {
+            target,
+            phase: Phase::Idle,
+            at: 0,
+            retries: 0,
+            acked: Vec::new(),
+        }
+    }
+
+    /// Receivers that ACKed (0 or 1 node).
+    pub fn acked(&self) -> &[NodeId] {
+        &self.acked
+    }
+
+    pub(super) fn on_access(&mut self, env: &mut Env<'_, '_>) -> Flow {
+        let t = env.timing();
+        env.send_control(
+            FrameKind::Rts,
+            Dest::Node(self.target),
+            t.dcf_rts_duration(),
+        );
+        self.phase = Phase::AwaitCts;
+        self.at = env.response_deadline(t.control_slots);
+        Flow::Continue
+    }
+
+    pub(super) fn on_slot(&mut self, env: &mut Env<'_, '_>) -> Flow {
+        if env.now() != self.at || self.phase == Phase::Idle {
+            return Flow::Continue;
+        }
+        // The expected response did not arrive.
+        self.phase = Phase::Idle;
+        self.retries += 1;
+        if self.retries > env.timing().retry_limit {
+            Flow::Abort
+        } else {
+            Flow::Recontend { reset_cw: false }
+        }
+    }
+
+    pub(super) fn on_frame(&mut self, frame: &Frame, env: &mut Env<'_, '_>) -> Flow {
+        if frame.src != self.target || frame.msg != env.req.msg {
+            return Flow::Continue;
+        }
+        match (self.phase, frame.kind) {
+            (Phase::AwaitCts, FrameKind::Cts) => {
+                let t = env.timing();
+                env.send_data(Dest::Node(self.target), t.control_slots);
+                self.phase = Phase::AwaitAck;
+                self.at = env.response_deadline(t.data_slots);
+                Flow::Continue
+            }
+            (Phase::AwaitAck, FrameKind::Ack) => {
+                self.acked.push(self.target);
+                self.phase = Phase::Idle;
+                Flow::Complete
+            }
+            _ => Flow::Continue,
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Leader-based reliable multicast in the style of Kuri & Kasera
+//! (reference \[13\] of the paper, *"Reliable Multicast in Multi-Access
+//! Wireless LANs"*): one designated receiver — the *leader* — speaks for
+//! the group.
+//!
+//! * The sender's multicast RTS is answered by a CTS from the leader
+//!   only (no CTS pile-up, unlike Tang–Gerla/BSMA).
+//! * After the data frame the leader returns an ACK; a non-leader that
+//!   took part in the exchange but missed the data transmits a NAK *in
+//!   the ACK slot*, deliberately colliding with (jamming) the leader's
+//!   ACK. The sender treats a missing/garbled ACK as failure and
+//!   retransmits.
+//!
+//! The scheme is one contention phase per attempt like BMMM, but its
+//! guarantee is weaker: only receivers that heard the RTS can jam, so a
+//! receiver that missed the RTS entirely (yielding, collision) is
+//! unprotected — and the sender never learns per-receiver state. The
+//! leader is the first receiver in the request's list.
+
+use super::{Env, Flow};
+use rmm_sim::{Dest, Frame, FrameKind, NodeId, Slot};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Idle,
+    /// Multicast RTS sent; leader CTS due by `at`.
+    AwaitCts,
+    /// Data sent; leader ACK (or jam silence) due by `at`.
+    AwaitAck,
+}
+
+/// Leader-based multicast sender.
+#[derive(Debug)]
+pub struct LeaderFsm {
+    phase: Phase,
+    at: Slot,
+    cts_ok: bool,
+    ack_ok: bool,
+    acked: Vec<NodeId>,
+}
+
+impl LeaderFsm {
+    /// New sender; the leader is `receivers\[0\]` by convention.
+    pub fn new() -> Self {
+        LeaderFsm {
+            phase: Phase::Idle,
+            at: 0,
+            cts_ok: false,
+            ack_ok: false,
+            acked: Vec::new(),
+        }
+    }
+
+    /// The leader of a receiver list.
+    pub fn leader(receivers: &[NodeId]) -> Option<NodeId> {
+        receivers.first().copied()
+    }
+
+    /// Receivers confirmed (the leader, after a clean ACK).
+    pub fn acked(&self) -> &[NodeId] {
+        &self.acked
+    }
+
+    pub(super) fn on_access(&mut self, env: &mut Env<'_, '_>) -> Flow {
+        let Some(_leader) = Self::leader(&env.req.receivers) else {
+            return Flow::Complete;
+        };
+        let t = env.timing();
+        self.cts_ok = false;
+        self.ack_ok = false;
+        env.send_control(
+            FrameKind::Rts,
+            Dest::group(env.req.receivers.clone()),
+            t.dcf_rts_duration(),
+        );
+        self.phase = Phase::AwaitCts;
+        self.at = env.response_deadline(t.control_slots);
+        Flow::Continue
+    }
+
+    pub(super) fn on_slot(&mut self, env: &mut Env<'_, '_>) -> Flow {
+        if env.now() != self.at || self.phase == Phase::Idle {
+            return Flow::Continue;
+        }
+        match self.phase {
+            Phase::AwaitCts => {
+                if self.cts_ok {
+                    let t = env.timing();
+                    // Duration covers the ACK/jam slot after the data.
+                    env.send_data(Dest::group(env.req.receivers.clone()), t.control_slots);
+                    self.phase = Phase::AwaitAck;
+                    self.at = env.response_deadline(t.data_slots);
+                    Flow::Continue
+                } else {
+                    self.phase = Phase::Idle;
+                    Flow::Recontend { reset_cw: false }
+                }
+            }
+            Phase::AwaitAck => {
+                self.phase = Phase::Idle;
+                if self.ack_ok {
+                    // A clean leader ACK: no receiver jammed it.
+                    if let Some(leader) = Self::leader(&env.req.receivers) {
+                        if !self.acked.contains(&leader) {
+                            self.acked.push(leader);
+                        }
+                    }
+                    Flow::Complete
+                } else {
+                    // Missing or jammed ACK: retransmit everything.
+                    Flow::Recontend { reset_cw: false }
+                }
+            }
+            Phase::Idle => Flow::Continue,
+        }
+    }
+
+    pub(super) fn on_frame(&mut self, frame: &Frame, env: &mut Env<'_, '_>) -> Flow {
+        if frame.msg != env.req.msg {
+            return Flow::Continue;
+        }
+        let leader = Self::leader(&env.req.receivers);
+        match (self.phase, frame.kind) {
+            (Phase::AwaitCts, FrameKind::Cts) if Some(frame.src) == leader => {
+                self.cts_ok = true;
+            }
+            (Phase::AwaitAck, FrameKind::Ack) if Some(frame.src) == leader => {
+                self.ack_ok = true;
+            }
+            _ => {}
+        }
+        Flow::Continue
+    }
+}
+
+impl Default for LeaderFsm {
+    fn default() -> Self {
+        LeaderFsm::new()
+    }
+}

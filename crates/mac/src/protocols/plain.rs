@@ -1,0 +1,56 @@
+//! Plain IEEE 802.11 multicast/broadcast: "the multicast sender simply
+//! listens to the channel and then transmits its data frame when the
+//! channel becomes free for a period of time. There is no MAC-level
+//! recovery on multicast frame."
+
+use super::{Env, Flow};
+use rmm_sim::{Dest, Slot};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Idle,
+    /// Data on the air; transmission finishes at `at`.
+    Sending,
+}
+
+/// Plain 802.11 multicast sender.
+#[derive(Debug)]
+pub struct PlainFsm {
+    phase: Phase,
+    at: Slot,
+}
+
+impl PlainFsm {
+    /// New sender.
+    pub fn new() -> Self {
+        PlainFsm {
+            phase: Phase::Idle,
+            at: 0,
+        }
+    }
+
+    pub(super) fn on_access(&mut self, env: &mut Env<'_, '_>) -> Flow {
+        if env.req.receivers.is_empty() {
+            return Flow::Complete;
+        }
+        let t = env.timing();
+        env.send_data(Dest::group(env.req.receivers.clone()), 0);
+        self.phase = Phase::Sending;
+        self.at = env.now() + Slot::from(t.data_slots);
+        Flow::Continue
+    }
+
+    pub(super) fn on_slot(&mut self, env: &mut Env<'_, '_>) -> Flow {
+        if self.phase == Phase::Sending && env.now() == self.at {
+            self.phase = Phase::Idle;
+            return Flow::Complete;
+        }
+        Flow::Continue
+    }
+}
+
+impl Default for PlainFsm {
+    fn default() -> Self {
+        PlainFsm::new()
+    }
+}

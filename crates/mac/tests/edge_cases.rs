@@ -1,0 +1,300 @@
+//! Edge-case and failure-injection tests: deterministic single-frame
+//! losses driving each protocol's recovery path.
+
+use rmm_geom::Point;
+use rmm_mac::{MacNode, MacTiming, Outcome, ProtocolKind, TrafficKind};
+use rmm_sim::{
+    Capture, Ctx, Dest, Engine, Frame, FrameKind, MsgId, NodeId, Station, Topology, TraceEvent,
+};
+
+fn nid(n: u32) -> NodeId {
+    NodeId(n)
+}
+
+/// Mixed station type: real MAC nodes plus a scripted interferer.
+enum TestStation {
+    Mac(Box<MacNode>),
+    Script(Vec<(u64, Frame)>),
+}
+
+impl Station for TestStation {
+    fn on_receive(&mut self, frame: &Frame, captured: bool, ctx: &mut Ctx<'_>) {
+        if let TestStation::Mac(m) = self {
+            m.on_receive(frame, captured, ctx);
+        }
+    }
+    fn on_slot(&mut self, ctx: &mut Ctx<'_>) {
+        match self {
+            TestStation::Mac(m) => m.on_slot(ctx),
+            TestStation::Script(plan) => {
+                while let Some(pos) = plan.iter().position(|(s, _)| *s == ctx.now) {
+                    let (_, frame) = plan.remove(pos);
+                    ctx.send(frame);
+                }
+            }
+        }
+    }
+}
+
+/// S(0) multicasts to L(1) and C(2); jammer D(3) is audible only at C.
+/// `cw_min = 0` pins the whole timeline: RTS at 4, DATA at [6, 11).
+fn jammed_topology() -> Topology {
+    Topology::new(
+        vec![
+            Point::new(0.00, 0.00), // S
+            Point::new(0.15, 0.00), // L
+            Point::new(0.00, 0.15), // C
+            Point::new(0.00, 0.30), // D
+        ],
+        0.2,
+    )
+}
+
+fn deterministic_timing() -> MacTiming {
+    MacTiming {
+        cw_min: 0,
+        ..Default::default()
+    }
+}
+
+fn jam_frame(at: u64) -> (u64, Frame) {
+    (
+        at,
+        Frame::data(nid(3), Dest::Node(nid(2)), 0, MsgId::new(nid(3), 0), 3),
+    )
+}
+
+fn run_jammed(
+    protocol: ProtocolKind,
+    jam: Vec<(u64, Frame)>,
+    slots: u64,
+) -> (Vec<TestStation>, Engine) {
+    let topo = jammed_topology();
+    let mut stations: Vec<TestStation> =
+        MacNode::build_network(&topo, protocol, deterministic_timing(), 1)
+            .into_iter()
+            .map(|m| TestStation::Mac(Box::new(m)))
+            .collect();
+    stations[3] = TestStation::Script(jam);
+    if let TestStation::Mac(m) = &mut stations[0] {
+        m.enqueue(TrafficKind::Multicast, vec![nid(1), nid(2)], 0);
+    }
+    let mut engine = Engine::new(topo, Capture::None, 1);
+    engine.enable_trace();
+    engine.run(&mut stations, slots);
+    (stations, engine)
+}
+
+fn mac(stations: &[TestStation], i: usize) -> &MacNode {
+    match &stations[i] {
+        TestStation::Mac(m) => m,
+        TestStation::Script(_) => panic!("station {i} is scripted"),
+    }
+}
+
+fn count_tx(engine: &Engine, node: NodeId, kind: FrameKind) -> usize {
+    engine
+        .trace()
+        .unwrap()
+        .events()
+        .iter()
+        .filter(|ev| matches!(ev, TraceEvent::TxStart { node: n, kind: k, .. } if *n == node && *k == kind))
+        .count()
+}
+
+#[test]
+fn bsma_nak_triggers_retransmission() {
+    // With BSMA the batch is: group RTS at 4, CTS pile-up at 5 (destroyed
+    // — Capture::None and two receivers!), so the sender retries until
+    // eventually... with no capture and 2 CTS responders BSMA can never
+    // hear a CTS on this topology unless one receiver yields. Use a
+    // single-receiver variant to exercise the NAK path instead: S → C
+    // with the jammer killing the first DATA at C.
+    let topo = Topology::new(
+        vec![
+            Point::new(0.00, 0.00), // S
+            Point::new(0.15, 0.00), // unused bystander out of the way
+            Point::new(0.00, 0.15), // C (sole receiver)
+            Point::new(0.00, 0.30), // D
+        ],
+        0.2,
+    );
+    let mut stations: Vec<TestStation> =
+        MacNode::build_network(&topo, ProtocolKind::Bsma, deterministic_timing(), 1)
+            .into_iter()
+            .map(|m| TestStation::Mac(Box::new(m)))
+            .collect();
+    // Timeline: RTS at 4 (delivered 5), CTS [5,6), DATA [6,11).
+    stations[3] = TestStation::Script(vec![jam_frame(7)]);
+    if let TestStation::Mac(m) = &mut stations[0] {
+        m.enqueue(TrafficKind::Multicast, vec![nid(2)], 0);
+    }
+    let mut engine = Engine::new(topo, Capture::None, 1);
+    engine.enable_trace();
+    engine.run(&mut stations, 200);
+
+    // C missed the data, NAKed at its WAIT_FOR_DATA expiry, and the
+    // sender retransmitted the whole exchange.
+    assert!(
+        count_tx(&engine, nid(2), FrameKind::Nak) >= 1,
+        "no NAK was sent"
+    );
+    assert!(
+        count_tx(&engine, nid(0), FrameKind::Data) >= 2,
+        "no retransmission"
+    );
+    let rec = &mac(&stations, 0).records()[0];
+    assert!(rec.outcome.is_completed());
+    assert!(rec.contention_phases >= 2);
+    assert!(mac(&stations, 2).received().len() == 1);
+}
+
+#[test]
+fn bmmm_rolls_unacked_receivers_into_second_batch() {
+    // The jammer destroys the first DATA at C only: L ACKs in batch 1,
+    // C cannot (it missed the data), so batch 2 serves exactly C.
+    // Timeline with cw_min = 0: RTS(L) at 4, RTS(C) at 6, DATA [8, 13).
+    let (stations, engine) = run_jammed(ProtocolKind::Bmmm, vec![jam_frame(9)], 300);
+    let rec = &mac(&stations, 0).records()[0];
+    assert!(rec.outcome.is_completed(), "{:?}", rec.outcome);
+    assert!(
+        rec.contention_phases >= 2,
+        "unacked receiver must trigger a second batch, got {}",
+        rec.contention_phases
+    );
+    // Both receivers hold the data in the end.
+    assert_eq!(mac(&stations, 1).received().len(), 1);
+    assert_eq!(mac(&stations, 2).received().len(), 1);
+    // The second batch polled only C: total RTS count is 2 (batch 1) + 1.
+    assert_eq!(count_tx(&engine, nid(0), FrameKind::Rts), 3);
+    // Data was transmitted twice.
+    assert_eq!(count_tx(&engine, nid(0), FrameKind::Data), 2);
+    let mut acked = rec.acked.clone();
+    acked.sort();
+    assert_eq!(acked, vec![nid(1), nid(2)]);
+}
+
+#[test]
+fn dcf_retry_limit_aborts() {
+    // A unicast to an unreachable station: no CTS ever, binary
+    // exponential backoff through retry_limit attempts, then Failed —
+    // unless the 100-slot service timeout fires first, so use a long
+    // timeout to expose the retry limit itself.
+    let topo = Topology::new(vec![Point::new(0.0, 0.0), Point::new(0.9, 0.9)], 0.2);
+    let timing = MacTiming {
+        timeout: 100_000,
+        cw_min: 0,
+        cw_max: 3,
+        ..Default::default()
+    };
+    let mut nodes = MacNode::build_network(&topo, ProtocolKind::Bmmm, timing, 1);
+    let mut engine = Engine::new(topo, Capture::None, 1);
+    nodes[0].enqueue(TrafficKind::Unicast, vec![nid(1)], 0);
+    engine.run(&mut nodes, 2_000);
+    let rec = &nodes[0].records()[0];
+    assert!(
+        matches!(rec.outcome, Outcome::Failed(_)),
+        "expected retry-limit abort, got {:?}",
+        rec.outcome
+    );
+    // retry_limit = 7: the initial phase plus 7 retries.
+    assert_eq!(rec.contention_phases, 8);
+}
+
+#[test]
+fn contention_window_doubles_on_retry() {
+    // Observed indirectly: with cw_min = 0 and cw_max = 255 the gaps
+    // between successive RTS attempts to an unreachable peer must grow on
+    // average (binary exponential backoff).
+    let topo = Topology::new(vec![Point::new(0.0, 0.0), Point::new(0.9, 0.9)], 0.2);
+    let timing = MacTiming {
+        timeout: 100_000,
+        cw_min: 0,
+        cw_max: 255,
+        ..Default::default()
+    };
+    let mut gaps_first = 0.0;
+    let mut gaps_last = 0.0;
+    let seeds = 20;
+    for seed in 0..seeds {
+        let mut nodes = MacNode::build_network(&topo, ProtocolKind::Bmmm, timing, seed);
+        let mut engine = Engine::new(topo.clone(), Capture::None, seed);
+        engine.enable_trace();
+        nodes[0].enqueue(TrafficKind::Unicast, vec![nid(1)], 0);
+        engine.run(&mut nodes, 3_000);
+        let rts_slots: Vec<u64> = engine
+            .trace()
+            .unwrap()
+            .events()
+            .iter()
+            .filter_map(|ev| match ev {
+                TraceEvent::TxStart {
+                    slot,
+                    kind: FrameKind::Rts,
+                    ..
+                } => Some(*slot),
+                _ => None,
+            })
+            .collect();
+        assert!(
+            rts_slots.len() >= 8,
+            "expected 8 attempts, saw {}",
+            rts_slots.len()
+        );
+        gaps_first += (rts_slots[1] - rts_slots[0]) as f64;
+        gaps_last += (rts_slots[7] - rts_slots[6]) as f64;
+    }
+    gaps_first /= f64::from(seeds as u32);
+    gaps_last /= f64::from(seeds as u32);
+    assert!(
+        gaps_last > gaps_first * 4.0,
+        "backoff did not grow: first gap {gaps_first:.1}, last gap {gaps_last:.1}"
+    );
+}
+
+#[test]
+fn yield_suppression_counter_fires() {
+    // A bystander that hears a BMMM batch's control frames while itself
+    // being polled by someone else... simpler: two senders multicast to
+    // the same receiver set; whoever loses the race yields, and at least
+    // one receiver response is suppressed over the run.
+    let topo = Topology::new(
+        vec![
+            Point::new(0.50, 0.50),
+            Point::new(0.55, 0.50),
+            Point::new(0.50, 0.55),
+            Point::new(0.55, 0.55),
+        ],
+        0.2,
+    );
+    let mut nodes = MacNode::build_network(&topo, ProtocolKind::Bmmm, MacTiming::default(), 5);
+    let mut engine = Engine::new(topo, Capture::ZorziRao, 5);
+    for round in 0..20u64 {
+        // Staggered so overheard batches set NAVs at the other stations.
+        nodes[0].enqueue(TrafficKind::Multicast, vec![nid(2), nid(3)], round * 40);
+        nodes[1].enqueue(TrafficKind::Multicast, vec![nid(2), nid(3)], round * 40 + 3);
+    }
+    engine.run(&mut nodes, 1_200);
+    let suppressions: u64 = nodes.iter().map(|n| n.counters().yield_suppressions).sum();
+    assert!(suppressions > 0, "no yield suppression was ever recorded");
+    // And despite the contention, most messages complete.
+    let completed: usize = nodes[..2]
+        .iter()
+        .flat_map(|n| n.records())
+        .filter(|r| r.outcome.is_completed())
+        .count();
+    assert!(completed >= 30, "only {completed}/40 completed");
+}
+
+#[test]
+fn utilization_is_tracked() {
+    let topo = jammed_topology();
+    let mut nodes = MacNode::build_network(&topo, ProtocolKind::Bmmm, MacTiming::default(), 2);
+    let mut engine = Engine::new(topo, Capture::ZorziRao, 2);
+    nodes[0].enqueue(TrafficKind::Multicast, vec![nid(1), nid(2)], 0);
+    engine.run(&mut nodes, 100);
+    let busy = engine.channel().busy_slots;
+    // A 2-receiver batch occupies 13 slots of airtime (4m + d).
+    assert!(busy >= 13, "busy slots {busy}");
+    assert!(busy < 40, "busy slots {busy} implausibly high");
+}

@@ -1,0 +1,182 @@
+//! Property-based tests for the MAC layer: protocol invariants that must
+//! hold for *every* random topology, traffic pattern and protocol.
+
+use proptest::prelude::*;
+use rmm_geom::Point;
+use rmm_mac::{MacNode, MacTiming, Outcome, ProtocolKind, TrafficKind};
+use rmm_sim::{Capture, Engine, NodeId, Topology};
+
+fn arb_protocol() -> impl Strategy<Value = ProtocolKind> {
+    prop_oneof![
+        Just(ProtocolKind::Ieee80211),
+        Just(ProtocolKind::TangGerla),
+        Just(ProtocolKind::Bsma),
+        Just(ProtocolKind::Bmw),
+        Just(ProtocolKind::Bmmm),
+        Just(ProtocolKind::Lamm),
+    ]
+}
+
+/// A random small network plus a random batch of requests, fully run.
+fn run_random(
+    protocol: ProtocolKind,
+    positions: &[(f64, f64)],
+    requests: &[(usize, u8, u64)],
+    seed: u64,
+    slots: u64,
+) -> (Vec<MacNode>, usize) {
+    let pts: Vec<Point> = positions.iter().map(|&(x, y)| Point::new(x, y)).collect();
+    let topo = Topology::new(pts, 0.3);
+    let mut nodes = MacNode::build_network(&topo, protocol, MacTiming::default(), seed);
+    let mut engine = Engine::new(topo.clone(), Capture::ZorziRao, seed);
+    // Resolve requests to (arrival, node, kind, receivers), dropping ones
+    // from isolated stations.
+    let mut plan: Vec<(u64, usize, TrafficKind, Vec<NodeId>)> = Vec::new();
+    for &(src, kind_sel, arrival) in requests {
+        let src = src % topo.len();
+        let neighbors = topo.neighbors(NodeId(src as u32)).to_vec();
+        if neighbors.is_empty() {
+            continue;
+        }
+        let arrival = arrival % (slots / 2);
+        let (kind, receivers) = match kind_sel % 3 {
+            0 => (TrafficKind::Unicast, vec![neighbors[0]]),
+            1 => {
+                let take = 1 + (kind_sel as usize % neighbors.len());
+                (TrafficKind::Multicast, neighbors[..take].to_vec())
+            }
+            _ => (TrafficKind::Broadcast, neighbors),
+        };
+        plan.push((arrival, src, kind, receivers));
+    }
+    let enqueued = plan.len();
+    // Inject each request at its arrival slot, as the real runner does.
+    for t in 0..slots {
+        for (arrival, src, kind, receivers) in &plan {
+            if *arrival == t {
+                nodes[*src].enqueue(*kind, receivers.clone(), t);
+            }
+        }
+        engine.step(&mut nodes);
+    }
+    for n in &mut nodes {
+        n.drain_unfinished(slots);
+    }
+    (nodes, enqueued)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Conservation and record sanity across all protocols: every request
+    /// produces exactly one record; acked/covered receivers are intended
+    /// receivers that really hold the data; phase counters are sane.
+    #[test]
+    fn record_invariants(
+        protocol in arb_protocol(),
+        positions in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 6..12),
+        requests in prop::collection::vec((0usize..12, any::<u8>(), 0u64..400), 0..10),
+        seed in 0u64..500,
+    ) {
+        let (nodes, enqueued) = run_random(protocol, &positions, &requests, seed, 800);
+        let total_records: usize = nodes.iter().map(|n| n.records().len()).sum();
+        prop_assert_eq!(total_records, enqueued, "{:?}", protocol);
+        for node in &nodes {
+            for rec in node.records() {
+                // Acked ⊆ intended, and acked nodes hold the data.
+                for r in &rec.acked {
+                    prop_assert!(rec.intended.contains(r));
+                    prop_assert!(nodes[r.index()].received().contains(&rec.msg));
+                }
+                for r in &rec.assumed_covered {
+                    prop_assert!(rec.intended.contains(r));
+                    prop_assert!(!rec.acked.contains(r));
+                }
+                // Coverage closures only exist under LAMM.
+                if protocol != ProtocolKind::Lamm {
+                    prop_assert!(rec.assumed_covered.is_empty());
+                }
+                // Serviced records burned at least one contention phase.
+                if rec.started.is_some() {
+                    prop_assert!(rec.contention_phases >= 1);
+                } else {
+                    prop_assert_eq!(rec.contention_phases, 0);
+                }
+                // Completion implies service within the timeout.
+                if let Outcome::Completed(at) = rec.outcome {
+                    prop_assert!(at >= rec.arrival);
+                    prop_assert!(at - rec.arrival <= MacTiming::default().timeout);
+                }
+            }
+        }
+    }
+
+    /// The reliable protocols' core guarantee, fuzzed: completion implies
+    /// every intended receiver holds the data.
+    #[test]
+    fn reliability_guarantee_fuzzed(
+        protocol in prop_oneof![Just(ProtocolKind::Bmw), Just(ProtocolKind::Bmmm), Just(ProtocolKind::Lamm)],
+        positions in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 6..12),
+        requests in prop::collection::vec((0usize..12, any::<u8>(), 0u64..300), 1..8),
+        seed in 0u64..500,
+    ) {
+        let (nodes, _) = run_random(protocol, &positions, &requests, seed, 800);
+        for node in &nodes {
+            for rec in node.records() {
+                if rec.is_group() && rec.outcome.is_completed() {
+                    for r in &rec.intended {
+                        prop_assert!(
+                            nodes[r.index()].received().contains(&rec.msg),
+                            "{:?}: completed {} never reached {}",
+                            protocol, rec.msg, r
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// BMW burns at least one contention phase per intended receiver on
+    /// completed multicasts — the paper's "at least n contention phases".
+    #[test]
+    fn bmw_pays_n_phases(
+        positions in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 6..10),
+        requests in prop::collection::vec((0usize..10, any::<u8>(), 0u64..200), 1..5),
+        seed in 0u64..200,
+    ) {
+        let (nodes, _) = run_random(ProtocolKind::Bmw, &positions, &requests, seed, 800);
+        for node in &nodes {
+            for rec in node.records() {
+                if rec.is_group() && rec.outcome.is_completed() {
+                    prop_assert!(
+                        rec.contention_phases as usize >= rec.intended.len(),
+                        "BMW completed {} receivers in {} phases",
+                        rec.intended.len(),
+                        rec.contention_phases
+                    );
+                }
+            }
+        }
+    }
+
+    /// Whole-network determinism at the MAC level: delivery ledgers and
+    /// record outcomes repeat exactly for the same seed.
+    #[test]
+    fn mac_runs_are_deterministic(
+        protocol in arb_protocol(),
+        positions in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 6..10),
+        seed in 0u64..100,
+    ) {
+        let requests = [(0usize, 7u8, 0u64), (1, 2, 10), (2, 5, 20)];
+        let (a, _) = run_random(protocol, &positions, &requests, seed, 600);
+        let (b, _) = run_random(protocol, &positions, &requests, seed, 600);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(x.records().len(), y.records().len());
+            for (rx, ry) in x.records().iter().zip(y.records()) {
+                prop_assert_eq!(rx.outcome, ry.outcome);
+                prop_assert_eq!(rx.contention_phases, ry.contention_phases);
+            }
+            prop_assert_eq!(x.received().len(), y.received().len());
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! Line charts with axes, ticks and a legend — enough to render the
+//! paper's figures.
+
+use crate::svg::Svg;
+
+/// Default categorical palette (color-blind-friendlier hues).
+pub const PALETTE: [&str; 6] = [
+    "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b",
+];
+
+/// One plotted series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` samples in data coordinates.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series.
+    pub fn new<S: Into<String>>(label: S, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            label: label.into(),
+            points,
+        }
+    }
+}
+
+/// A line chart.
+#[derive(Debug, Clone)]
+pub struct Chart {
+    title: String,
+    x_label: String,
+    y_label: String,
+    series: Vec<Series>,
+    y_from_zero: bool,
+}
+
+impl Chart {
+    /// Creates a chart with the given title and axis labels.
+    pub fn new<S: Into<String>>(title: S, x_label: S, y_label: S) -> Self {
+        Chart {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+            y_from_zero: true,
+        }
+    }
+
+    /// Adds a series.
+    pub fn series(&mut self, s: Series) -> &mut Self {
+        self.series.push(s);
+        self
+    }
+
+    /// Whether the y axis is forced to start at zero (default true —
+    /// honest comparisons).
+    pub fn y_from_zero(&mut self, yes: bool) -> &mut Self {
+        self.y_from_zero = yes;
+        self
+    }
+
+    fn bounds(&self) -> Option<(f64, f64, f64, f64)> {
+        let mut pts = self.series.iter().flat_map(|s| s.points.iter());
+        let first = pts.next()?;
+        let (mut x0, mut x1, mut y0, mut y1) = (first.0, first.0, first.1, first.1);
+        for &(x, y) in pts {
+            x0 = x0.min(x);
+            x1 = x1.max(x);
+            y0 = y0.min(y);
+            y1 = y1.max(y);
+        }
+        if self.y_from_zero {
+            y0 = y0.min(0.0);
+        }
+        // Degenerate ranges get padded so projection stays finite.
+        if (x1 - x0).abs() < 1e-12 {
+            x0 -= 0.5;
+            x1 += 0.5;
+        }
+        if (y1 - y0).abs() < 1e-12 {
+            y1 += 1.0;
+        }
+        Some((x0, x1, y0, y1))
+    }
+
+    /// Renders the chart as an SVG document string.
+    pub fn render(&self, width: f64, height: f64) -> String {
+        let mut svg = Svg::new(width, height);
+        let (ml, mr, mt, mb) = (62.0, 16.0, 34.0, 46.0); // margins
+        let (px0, px1) = (ml, width - mr);
+        let (py0, py1) = (height - mb, mt); // y is flipped in SVG
+        svg.text(width / 2.0, 18.0, 14.0, "middle", &self.title);
+
+        let Some((x0, x1, y0, y1)) = self.bounds() else {
+            svg.text(width / 2.0, height / 2.0, 12.0, "middle", "(no data)");
+            return svg.render();
+        };
+        let sx = |x: f64| px0 + (x - x0) / (x1 - x0) * (px1 - px0);
+        let sy = |y: f64| py0 + (y - y0) / (y1 - y0) * (py1 - py0);
+
+        // Axes.
+        svg.line(px0, py0, px1, py0, "#333", 1.0);
+        svg.line(px0, py0, px0, py1, "#333", 1.0);
+        svg.text(
+            (px0 + px1) / 2.0,
+            height - 10.0,
+            11.0,
+            "middle",
+            &self.x_label,
+        );
+        svg.text(14.0, (py0 + py1) / 2.0, 11.0, "middle", &self.y_label);
+
+        // Ticks (5 per axis).
+        for i in 0..=4 {
+            let fx = x0 + (x1 - x0) * f64::from(i) / 4.0;
+            let fy = y0 + (y1 - y0) * f64::from(i) / 4.0;
+            svg.line(sx(fx), py0, sx(fx), py0 + 4.0, "#333", 1.0);
+            svg.text(sx(fx), py0 + 16.0, 9.0, "middle", &format_tick(fx));
+            svg.line(px0 - 4.0, sy(fy), px0, sy(fy), "#333", 1.0);
+            svg.text(px0 - 7.0, sy(fy) + 3.0, 9.0, "end", &format_tick(fy));
+            // Light gridline.
+            svg.line(px0, sy(fy), px1, sy(fy), "#eee", 0.5);
+        }
+
+        // Series + markers.
+        for (i, s) in self.series.iter().enumerate() {
+            let color = PALETTE[i % PALETTE.len()];
+            let pts: Vec<(f64, f64)> = s.points.iter().map(|&(x, y)| (sx(x), sy(y))).collect();
+            svg.polyline(&pts, color, 1.8);
+            for &(x, y) in &pts {
+                svg.circle(x, y, 2.4, color);
+            }
+        }
+
+        // Legend (top-right, stacked).
+        for (i, s) in self.series.iter().enumerate() {
+            let color = PALETTE[i % PALETTE.len()];
+            let y = mt + 14.0 * i as f64;
+            svg.rect(px1 - 104.0, y - 7.0, 10.0, 10.0, color);
+            svg.text(px1 - 90.0, y + 2.0, 10.0, "start", &s.label);
+        }
+        svg.render()
+    }
+
+    /// Renders and writes the chart to `path`, creating parent dirs.
+    pub fn write(&self, path: &std::path::Path, width: f64, height: f64) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.render(width, height))
+    }
+}
+
+fn format_tick(v: f64) -> String {
+    let a = v.abs();
+    if a == 0.0 {
+        "0".to_string()
+    } else if !(0.01..10_000.0).contains(&a) {
+        format!("{v:.1e}")
+    } else if a < 10.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.0}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_chart() -> Chart {
+        let mut c = Chart::new("Delivery", "density", "rate");
+        c.series(Series::new(
+            "LAMM",
+            vec![(4.0, 0.99), (8.0, 0.94), (12.0, 0.78)],
+        ));
+        c.series(Series::new(
+            "BMW",
+            vec![(4.0, 0.92), (8.0, 0.57), (12.0, 0.33)],
+        ));
+        c
+    }
+
+    #[test]
+    fn renders_series_and_legend() {
+        let doc = sample_chart().render(480.0, 320.0);
+        assert!(doc.contains("LAMM"));
+        assert!(doc.contains("BMW"));
+        assert!(doc.matches("<polyline").count() == 2);
+        // 6 data markers.
+        assert_eq!(doc.matches("<circle").count(), 6);
+        assert!(doc.contains("Delivery"));
+    }
+
+    #[test]
+    fn empty_chart_says_no_data() {
+        let c = Chart::new("t", "x", "y");
+        assert!(c.render(200.0, 100.0).contains("(no data)"));
+    }
+
+    #[test]
+    fn degenerate_ranges_do_not_produce_nan() {
+        let mut c = Chart::new("t", "x", "y");
+        c.series(Series::new("s", vec![(1.0, 2.0), (1.0, 2.0)]));
+        let doc = c.render(200.0, 100.0);
+        assert!(!doc.contains("NaN"));
+        assert!(!doc.contains("inf"));
+    }
+
+    #[test]
+    fn y_axis_starts_at_zero_by_default() {
+        // With values in [0.5, 1.0] the zero tick must still appear.
+        let doc = sample_chart().render(480.0, 320.0);
+        assert!(doc.contains(">0</text>"));
+    }
+
+    #[test]
+    fn tick_formatting() {
+        assert_eq!(format_tick(0.0), "0");
+        assert_eq!(format_tick(0.5), "0.50");
+        assert_eq!(format_tick(150.0), "150");
+        assert_eq!(format_tick(0.0005), "5.0e-4");
+    }
+
+    #[test]
+    fn write_creates_file() {
+        let dir = std::env::temp_dir().join("rmm_plot_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("a/chart.svg");
+        sample_chart().write(&path, 300.0, 200.0).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("<svg"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

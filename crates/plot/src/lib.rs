@@ -1,0 +1,13 @@
+//! Minimal, dependency-free SVG line charts.
+//!
+//! The experiment harness uses this to render each reproduced figure
+//! (`results/fig*.svg`) next to its CSV, so the repository regenerates
+//! the paper's *figures*, not just their numbers.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod chart;
+pub mod svg;
+
+pub use chart::{Chart, Series};

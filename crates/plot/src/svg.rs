@@ -1,0 +1,142 @@
+//! Tiny SVG document builder: just the elements a line chart needs.
+
+use std::fmt::Write as _;
+
+/// An SVG document under construction.
+#[derive(Debug, Clone)]
+pub struct Svg {
+    width: f64,
+    height: f64,
+    body: String,
+}
+
+/// Escapes text content for XML.
+pub fn escape(text: &str) -> String {
+    text.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+impl Svg {
+    /// Creates an empty document of the given pixel size.
+    pub fn new(width: f64, height: f64) -> Self {
+        Svg {
+            width,
+            height,
+            body: String::new(),
+        }
+    }
+
+    /// Document width.
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Document height.
+    pub fn height(&self) -> f64 {
+        self.height
+    }
+
+    /// Adds a line segment.
+    pub fn line(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, stroke: &str, width: f64) {
+        let _ = writeln!(
+            self.body,
+            r#"<line x1="{x1:.1}" y1="{y1:.1}" x2="{x2:.1}" y2="{y2:.1}" stroke="{stroke}" stroke-width="{width}"/>"#
+        );
+    }
+
+    /// Adds a polyline through `points`.
+    pub fn polyline(&mut self, points: &[(f64, f64)], stroke: &str, width: f64) {
+        if points.is_empty() {
+            return;
+        }
+        let pts: Vec<String> = points
+            .iter()
+            .map(|(x, y)| format!("{x:.1},{y:.1}"))
+            .collect();
+        let _ = writeln!(
+            self.body,
+            r#"<polyline points="{}" fill="none" stroke="{stroke}" stroke-width="{width}"/>"#,
+            pts.join(" ")
+        );
+    }
+
+    /// Adds a filled circle (data-point marker).
+    pub fn circle(&mut self, cx: f64, cy: f64, r: f64, fill: &str) {
+        let _ = writeln!(
+            self.body,
+            r#"<circle cx="{cx:.1}" cy="{cy:.1}" r="{r}" fill="{fill}"/>"#
+        );
+    }
+
+    /// Adds text. `anchor` is `start`, `middle`, or `end`.
+    pub fn text(&mut self, x: f64, y: f64, size: f64, anchor: &str, content: &str) {
+        let _ = writeln!(
+            self.body,
+            r#"<text x="{x:.1}" y="{y:.1}" font-size="{size}" font-family="sans-serif" text-anchor="{anchor}">{}</text>"#,
+            escape(content)
+        );
+    }
+
+    /// Adds a filled rectangle.
+    pub fn rect(&mut self, x: f64, y: f64, w: f64, h: f64, fill: &str) {
+        let _ = writeln!(
+            self.body,
+            r#"<rect x="{x:.1}" y="{y:.1}" width="{w:.1}" height="{h:.1}" fill="{fill}"/>"#
+        );
+    }
+
+    /// Finalizes the document.
+    pub fn render(&self) -> String {
+        format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{w}\" height=\"{h}\" \
+             viewBox=\"0 0 {w} {h}\">\n<rect width=\"{w}\" height=\"{h}\" fill=\"white\"/>\n{}\
+             </svg>\n",
+            self.body,
+            w = self.width,
+            h = self.height
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_well_formed_document() {
+        let mut svg = Svg::new(100.0, 50.0);
+        svg.line(0.0, 0.0, 10.0, 10.0, "black", 1.0);
+        svg.circle(5.0, 5.0, 2.0, "red");
+        svg.text(1.0, 1.0, 10.0, "start", "hello");
+        let doc = svg.render();
+        assert!(doc.starts_with("<svg "));
+        assert!(doc.trim_end().ends_with("</svg>"));
+        assert!(doc.contains("<line "));
+        assert!(doc.contains("<circle "));
+        assert!(doc.contains(">hello</text>"));
+    }
+
+    #[test]
+    fn escapes_xml_metacharacters() {
+        assert_eq!(escape("a<b & \"c\">"), "a&lt;b &amp; &quot;c&quot;&gt;");
+        let mut svg = Svg::new(10.0, 10.0);
+        svg.text(0.0, 0.0, 8.0, "start", "p < q & r");
+        assert!(svg.render().contains("p &lt; q &amp; r"));
+    }
+
+    #[test]
+    fn empty_polyline_is_omitted() {
+        let mut svg = Svg::new(10.0, 10.0);
+        svg.polyline(&[], "blue", 1.0);
+        assert!(!svg.render().contains("polyline"));
+    }
+
+    #[test]
+    fn polyline_joins_points() {
+        let mut svg = Svg::new(10.0, 10.0);
+        svg.polyline(&[(0.0, 0.0), (5.0, 5.0)], "blue", 1.5);
+        assert!(svg.render().contains(r#"points="0.0,0.0 5.0,5.0""#));
+    }
+}

@@ -1,0 +1,18 @@
+//! Network-layer route discovery over the multicast MAC — the workload
+//! the paper's introduction motivates: "several higher layer protocols
+//! rely heavily on reliable and efficient MAC layer multicast/broadcast,
+//! for instance DSR, AODV and ZRP routing protocols."
+//!
+//! [`RouteSim`] floods an AODV-style route request (RREQ) from an origin
+//! toward a target: every station that receives a copy for the first
+//! time records the reverse hop and rebroadcasts it **through the MAC
+//! protocol under test**. Whether the flood actually crosses the network
+//! is then a direct function of the MAC broadcast's reliability — the
+//! quantity the paper's protocols exist to improve.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod discovery;
+
+pub use discovery::{DiscoveryConfig, DiscoveryResult, RouteResult, RouteSim};

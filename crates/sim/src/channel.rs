@@ -1,0 +1,554 @@
+//! The shared radio channel: transmission bookkeeping and per-receiver
+//! reception resolution.
+//!
+//! Reception rule (per receiver `r`, for a frame `f` whose airtime just
+//! ended): `r` decodes `f` iff
+//!
+//! 1. `r` is within the transmission radius of `f`'s sender,
+//! 2. `r` was not itself transmitting during any slot of `f` (half-duplex),
+//! 3. no other transmission audible at `r` overlapped `f` in time — unless
+//!    *all* overlapping frames are control frames occupying exactly the
+//!    same slot (a synchronized pile-up, e.g. simultaneous CTS replies), in
+//!    which case the strongest frame (nearest sender) is decoded with the
+//!    capture probability of the configured [`Capture`] model.
+//!
+//! Every audible station receives every decodable frame (promiscuous
+//! delivery); MAC layers decide whether a frame is addressed to them or
+//! triggers a NAV yield.
+
+use crate::capture::Capture;
+use crate::frame::Frame;
+use crate::ids::{NodeId, Slot};
+use crate::topology::Topology;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// A frame on the air, occupying slots `[start, end)`.
+#[derive(Debug, Clone)]
+pub struct Transmission {
+    /// The frame being transmitted.
+    pub frame: Frame,
+    /// First occupied slot.
+    pub start: Slot,
+    /// One past the last occupied slot.
+    pub end: Slot,
+}
+
+impl Transmission {
+    #[inline]
+    fn overlaps(&self, other: &Transmission) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+
+    #[inline]
+    fn occupies(&self, slot: Slot) -> bool {
+        self.start <= slot && slot < self.end
+    }
+}
+
+/// A successfully decoded frame, to be delivered to `receiver`.
+#[derive(Debug, Clone)]
+pub struct Reception {
+    /// Station that decoded the frame.
+    pub receiver: NodeId,
+    /// The decoded frame.
+    pub frame: Frame,
+    /// Whether decoding required the capture effect.
+    pub captured: bool,
+}
+
+/// A collision observed at a receiver (for tracing and statistics).
+#[derive(Debug, Clone)]
+pub struct CollisionEvent {
+    /// Station at which the frames collided.
+    pub receiver: NodeId,
+    /// Senders of the frames involved.
+    pub senders: Vec<NodeId>,
+    /// The sender whose frame was captured, if any.
+    pub captured: Option<NodeId>,
+}
+
+/// Result of resolving one slot's ended transmissions.
+#[derive(Debug, Default)]
+pub struct SlotOutcome {
+    /// Frames decoded this slot, in deterministic order.
+    pub receptions: Vec<Reception>,
+    /// Collisions observed this slot.
+    pub collisions: Vec<CollisionEvent>,
+    /// Receivers that lost an otherwise clean frame to a random frame
+    /// error this slot.
+    pub frame_errors: Vec<NodeId>,
+}
+
+/// The shared radio medium.
+#[derive(Debug)]
+pub struct Channel {
+    transmissions: Vec<Transmission>,
+    capture: Capture,
+    max_len: u32,
+    /// Independent per-reception frame error probability (transmission
+    /// errors other than collisions — noise, fading). The paper's
+    /// Section 6 analysis folds these into its `q`; default 0.
+    fer: f64,
+    /// Count of frame receptions destroyed by collisions (monotone).
+    pub collisions_total: u64,
+    /// Count of frame receptions destroyed by random frame errors.
+    pub frame_errors_total: u64,
+    /// Count of slots during which at least one transmission was on the
+    /// air anywhere in the network (global airtime utilization).
+    pub busy_slots: u64,
+}
+
+impl Channel {
+    /// Creates an idle channel with the given capture model.
+    pub fn new(capture: Capture) -> Self {
+        Channel {
+            transmissions: Vec::new(),
+            capture,
+            max_len: 1,
+            fer: 0.0,
+            collisions_total: 0,
+            frame_errors_total: 0,
+            busy_slots: 0,
+        }
+    }
+
+    /// Sets the independent frame error rate applied to every otherwise
+    /// successful reception.
+    pub fn set_fer(&mut self, fer: f64) {
+        assert!(
+            (0.0..1.0).contains(&fer),
+            "frame error rate must be in [0, 1)"
+        );
+        self.fer = fer;
+    }
+
+    /// The configured frame error rate.
+    pub fn fer(&self) -> f64 {
+        self.fer
+    }
+
+    /// The configured capture model.
+    pub fn capture(&self) -> Capture {
+        self.capture
+    }
+
+    /// Starts a transmission at slot `now`. Panics (debug) if the sender
+    /// already has a frame on the air — MAC layers are half-duplex.
+    pub fn begin_tx(&mut self, frame: Frame, now: Slot) {
+        debug_assert!(
+            !self
+                .transmissions
+                .iter()
+                .any(|t| t.frame.src == frame.src && t.end > now),
+            "station {} started a transmission while already transmitting",
+            frame.src
+        );
+        let len = frame.slots.max(1);
+        self.max_len = self.max_len.max(len);
+        self.transmissions.push(Transmission {
+            start: now,
+            end: now + Slot::from(len),
+            frame,
+        });
+    }
+
+    /// Whether the medium at `node` was busy during slot `now - 1`:
+    /// true if any audible transmission (or the node's own) occupied it.
+    /// At `now == 0` the medium has no history and reads idle.
+    pub fn busy_prev_slot(&self, node: NodeId, now: Slot, topo: &Topology) -> bool {
+        if now == 0 {
+            return false;
+        }
+        let prev = now - 1;
+        self.transmissions
+            .iter()
+            .any(|t| t.occupies(prev) && (t.frame.src == node || topo.in_range(node, t.frame.src)))
+    }
+
+    /// Whether `node` has a frame of its own on the air at slot `now`.
+    pub fn is_transmitting(&self, node: NodeId, now: Slot) -> bool {
+        self.transmissions
+            .iter()
+            .any(|t| t.frame.src == node && t.occupies(now))
+    }
+
+    /// Resolves all transmissions whose airtime ends at slot `now` and
+    /// returns the decoded receptions plus collision records.
+    pub fn resolve_ended(&mut self, now: Slot, topo: &Topology, rng: &mut SmallRng) -> SlotOutcome {
+        let mut outcome = SlotOutcome::default();
+        let ended: Vec<usize> = (0..self.transmissions.len())
+            .filter(|&i| self.transmissions[i].end == now)
+            .collect();
+        for &fi in &ended {
+            let f = &self.transmissions[fi];
+            for &r in topo.neighbors(f.frame.src) {
+                self.resolve_at_receiver(fi, r, topo, rng, &mut outcome);
+            }
+        }
+        outcome
+    }
+
+    fn resolve_at_receiver(
+        &self,
+        fi: usize,
+        receiver: NodeId,
+        topo: &Topology,
+        rng: &mut SmallRng,
+        outcome: &mut SlotOutcome,
+    ) {
+        let f = &self.transmissions[fi];
+        // Half-duplex: a station transmitting during the frame hears nothing.
+        if self
+            .transmissions
+            .iter()
+            .any(|t| t.frame.src == receiver && t.overlaps(f))
+        {
+            return;
+        }
+        // Interferers: other transmissions audible at the receiver that
+        // overlap this frame in time.
+        let interferers: Vec<usize> = (0..self.transmissions.len())
+            .filter(|&ti| ti != fi)
+            .filter(|&ti| {
+                let t = &self.transmissions[ti];
+                t.overlaps(f) && topo.in_range(receiver, t.frame.src)
+            })
+            .collect();
+        if interferers.is_empty() {
+            if self.fer > 0.0 && rng.random::<f64>() < self.fer {
+                outcome.frame_errors.push(receiver);
+                return;
+            }
+            outcome.receptions.push(Reception {
+                receiver,
+                frame: f.frame.clone(),
+                captured: false,
+            });
+            return;
+        }
+
+        // Collision. Capture can only rescue a synchronized control-frame
+        // pile-up: every frame involved must be a control frame occupying
+        // exactly the same slots as `f`.
+        let synchronized = f.frame.kind.is_control()
+            && interferers.iter().all(|&ti| {
+                let t = &self.transmissions[ti];
+                t.frame.kind.is_control() && t.start == f.start && t.end == f.end
+            });
+
+        let mut captured = None;
+        if synchronized {
+            // Strongest signal = nearest sender (ties broken by id), per
+            // the DS capture model.
+            let strongest = interferers
+                .iter()
+                .map(|&ti| self.transmissions[ti].frame.src)
+                .chain(std::iter::once(f.frame.src))
+                .min_by(|&a, &b| {
+                    topo.distance(receiver, a)
+                        .partial_cmp(&topo.distance(receiver, b))
+                        .expect("distances are finite")
+                        .then(a.cmp(&b))
+                })
+                .expect("at least one sender");
+            // Exactly one capture draw per pile-up per receiver: perform it
+            // when resolving the strongest frame (only it can be captured).
+            if strongest == f.frame.src {
+                let k = interferers.len() + 1;
+                if rng.random::<f64>() < self.capture.capture_prob(k)
+                    && (self.fer == 0.0 || rng.random::<f64>() >= self.fer)
+                {
+                    captured = Some(strongest);
+                    outcome.receptions.push(Reception {
+                        receiver,
+                        frame: f.frame.clone(),
+                        captured: true,
+                    });
+                }
+                // Record the pile-up once, from the strongest frame's
+                // perspective.
+                let mut senders: Vec<NodeId> = interferers
+                    .iter()
+                    .map(|&ti| self.transmissions[ti].frame.src)
+                    .collect();
+                senders.push(f.frame.src);
+                senders.sort();
+                outcome.collisions.push(CollisionEvent {
+                    receiver,
+                    senders,
+                    captured,
+                });
+            }
+        } else {
+            let mut senders: Vec<NodeId> = interferers
+                .iter()
+                .map(|&ti| self.transmissions[ti].frame.src)
+                .collect();
+            senders.push(f.frame.src);
+            senders.sort();
+            outcome.collisions.push(CollisionEvent {
+                receiver,
+                senders,
+                captured: None,
+            });
+        }
+    }
+
+    /// Counts collision events into the running total. Called by the
+    /// engine after tracing, so the trace and the counter agree.
+    pub fn count_collisions(&mut self, n: usize) {
+        self.collisions_total += n as u64;
+    }
+
+    /// Drops transmissions that can no longer interfere with anything:
+    /// a frame ended at `e` can only overlap frames still on the air if
+    /// one of them started before `e`, and any such frame has length
+    /// greater than `now - e`; beyond the longest frame length seen, the
+    /// record is garbage.
+    pub fn prune(&mut self, now: Slot) {
+        let horizon = Slot::from(self.max_len);
+        self.transmissions.retain(|t| t.end + horizon > now);
+    }
+
+    /// Number of transmission records currently retained (active plus the
+    /// short interference-history tail).
+    pub fn records(&self) -> usize {
+        self.transmissions.len()
+    }
+
+    /// Whether any transmission is on the air at slot `now`.
+    pub fn any_active(&self, now: Slot) -> bool {
+        self.transmissions.iter().any(|t| t.occupies(now))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::{Dest, Frame, FrameKind};
+    use crate::ids::MsgId;
+    use rand::SeedableRng;
+    use rmm_geom::Point;
+
+    fn nid(n: u32) -> NodeId {
+        NodeId(n)
+    }
+
+    fn mid(n: u32) -> MsgId {
+        MsgId::new(nid(n), 0)
+    }
+
+    /// 0 and 2 both in range of 1; 0 and 2 hidden from each other.
+    fn hidden_terminal_topo() -> Topology {
+        Topology::new(
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(0.15, 0.0),
+                Point::new(0.3, 0.0),
+            ],
+            0.2,
+        )
+    }
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(42)
+    }
+
+    fn rts(src: u32, dst: u32) -> Frame {
+        Frame::control(FrameKind::Rts, nid(src), Dest::Node(nid(dst)), 0, mid(src))
+    }
+
+    #[test]
+    fn lone_transmission_is_received_by_all_neighbors() {
+        let topo = hidden_terminal_topo();
+        let mut ch = Channel::new(Capture::None);
+        let mut r = rng();
+        ch.begin_tx(rts(1, 0), 0);
+        let out = ch.resolve_ended(1, &topo, &mut r);
+        let mut receivers: Vec<NodeId> = out.receptions.iter().map(|x| x.receiver).collect();
+        receivers.sort();
+        assert_eq!(receivers, vec![nid(0), nid(2)]);
+        assert!(out.collisions.is_empty());
+    }
+
+    #[test]
+    fn out_of_range_node_hears_nothing() {
+        let topo = hidden_terminal_topo();
+        let mut ch = Channel::new(Capture::None);
+        let mut r = rng();
+        ch.begin_tx(rts(0, 1), 0);
+        let out = ch.resolve_ended(1, &topo, &mut r);
+        assert_eq!(out.receptions.len(), 1);
+        assert_eq!(out.receptions[0].receiver, nid(1));
+    }
+
+    #[test]
+    fn hidden_terminal_collision_at_middle_node() {
+        // 0 and 2 transmit simultaneously: they cannot hear each other, and
+        // their frames collide at 1 — the textbook hidden-terminal failure.
+        let topo = hidden_terminal_topo();
+        let mut ch = Channel::new(Capture::None);
+        let mut r = rng();
+        ch.begin_tx(rts(0, 1), 0);
+        ch.begin_tx(rts(2, 1), 0);
+        let out = ch.resolve_ended(1, &topo, &mut r);
+        assert!(out.receptions.is_empty());
+        assert_eq!(out.collisions.len(), 1);
+        assert_eq!(out.collisions[0].receiver, nid(1));
+        assert_eq!(out.collisions[0].senders, vec![nid(0), nid(2)]);
+    }
+
+    #[test]
+    fn half_duplex_sender_misses_overlapping_frame() {
+        let topo = hidden_terminal_topo();
+        let mut ch = Channel::new(Capture::None);
+        let mut r = rng();
+        // 1 transmits a 1-slot frame while 0 also transmits: 1 is deaf.
+        ch.begin_tx(rts(1, 2), 0);
+        ch.begin_tx(rts(0, 1), 0);
+        let out = ch.resolve_ended(1, &topo, &mut r);
+        // Node 1's frame is heard fine by 0? No: 0 is transmitting too.
+        // Node 2 hears 1's frame cleanly (0 is out of 2's range).
+        assert_eq!(out.receptions.len(), 1);
+        assert_eq!(out.receptions[0].receiver, nid(2));
+        assert_eq!(out.receptions[0].frame.src, nid(1));
+    }
+
+    #[test]
+    fn partial_overlap_destroys_long_frame() {
+        let topo = hidden_terminal_topo();
+        let mut ch = Channel::new(Capture::ZorziRao);
+        let mut r = rng();
+        // 0 sends 5-slot data to 1; 2 fires a control frame mid-way.
+        ch.begin_tx(Frame::data(nid(0), Dest::Node(nid(1)), 0, mid(0), 5), 0);
+        ch.begin_tx(rts(2, 1), 2);
+        let out3 = ch.resolve_ended(3, &topo, &mut r);
+        // The control frame also dies at 1 (overlap, not synchronized).
+        assert!(out3.receptions.iter().all(|x| x.receiver != nid(1)));
+        let out5 = ch.resolve_ended(5, &topo, &mut r);
+        assert!(
+            out5.receptions.is_empty(),
+            "data frame should be destroyed at node 1"
+        );
+        assert_eq!(out5.collisions.len(), 1);
+    }
+
+    #[test]
+    fn capture_none_never_rescues_synchronized_controls() {
+        let topo = hidden_terminal_topo();
+        let mut ch = Channel::new(Capture::None);
+        let mut r = rng();
+        ch.begin_tx(rts(0, 1), 0);
+        ch.begin_tx(rts(2, 1), 0);
+        let out = ch.resolve_ended(1, &topo, &mut r);
+        assert!(out.receptions.is_empty());
+    }
+
+    #[test]
+    fn capture_certain_rescues_strongest() {
+        // Capture model that always captures: the nearer sender wins.
+        let topo = Topology::new(
+            vec![
+                Point::new(0.0, 0.0),  // receiver... actually sender 0
+                Point::new(0.05, 0.0), // receiver 1
+                Point::new(0.2, 0.0),  // sender 2 (farther from 1)
+            ],
+            0.2,
+        );
+        let mut ch = Channel::new(Capture::Rayleigh { z0: 0.0 }); // prob = k·1 ≥ 1 → clamped to 1
+        let mut r = rng();
+        ch.begin_tx(rts(0, 1), 0);
+        ch.begin_tx(rts(2, 1), 0);
+        let out = ch.resolve_ended(1, &topo, &mut r);
+        let got: Vec<_> = out
+            .receptions
+            .iter()
+            .filter(|x| x.receiver == nid(1))
+            .collect();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].frame.src, nid(0), "nearest sender must capture");
+        assert!(got[0].captured);
+    }
+
+    #[test]
+    fn capture_statistics_match_model() {
+        // Two synchronized CTS frames, C_2 = 0.55: over many trials the
+        // strongest should be captured roughly 55% of the time.
+        let topo = Topology::new(
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(0.05, 0.0),
+                Point::new(0.2, 0.0),
+            ],
+            0.2,
+        );
+        let mut r = rng();
+        let trials = 4000;
+        let mut captured = 0;
+        for i in 0..trials {
+            let mut ch = Channel::new(Capture::ZorziRao);
+            ch.begin_tx(rts(0, 1), i);
+            ch.begin_tx(rts(2, 1), i);
+            let out = ch.resolve_ended(i + 1, &topo, &mut r);
+            captured += out
+                .receptions
+                .iter()
+                .filter(|x| x.receiver == nid(1))
+                .count();
+        }
+        let rate = captured as f64 / trials as f64;
+        assert!(
+            (rate - 0.55).abs() < 0.04,
+            "capture rate {rate} too far from 0.55"
+        );
+    }
+
+    #[test]
+    fn busy_prev_slot_reflects_occupancy() {
+        let topo = hidden_terminal_topo();
+        let mut ch = Channel::new(Capture::None);
+        ch.begin_tx(Frame::data(nid(0), Dest::Node(nid(1)), 0, mid(0), 5), 0);
+        // Node 1 (in range): busy for decisions at slots 1..=5.
+        assert!(!ch.busy_prev_slot(nid(1), 0, &topo));
+        for t in 1..=5 {
+            assert!(ch.busy_prev_slot(nid(1), t, &topo), "slot {t}");
+        }
+        assert!(!ch.busy_prev_slot(nid(1), 6, &topo));
+        // Node 2 (out of 0's range): never busy.
+        for t in 0..7 {
+            assert!(!ch.busy_prev_slot(nid(2), t, &topo));
+        }
+        // The sender itself senses its own transmission.
+        assert!(ch.busy_prev_slot(nid(0), 3, &topo));
+    }
+
+    #[test]
+    fn prune_keeps_interference_history() {
+        let topo = hidden_terminal_topo();
+        let mut ch = Channel::new(Capture::None);
+        let mut r = rng();
+        // Long data from 0 at [0,5); short control from 2 at [0,1).
+        ch.begin_tx(Frame::data(nid(0), Dest::Node(nid(1)), 0, mid(0), 5), 0);
+        ch.begin_tx(rts(2, 1), 0);
+        let _ = ch.resolve_ended(1, &topo, &mut r);
+        ch.prune(1);
+        // The ended control frame must survive pruning: it still overlaps
+        // the ongoing data frame and must destroy it at slot 5.
+        let out = ch.resolve_ended(5, &topo, &mut r);
+        assert!(out.receptions.is_empty());
+        // Eventually records are dropped.
+        ch.prune(100);
+        assert_eq!(ch.records(), 0);
+    }
+
+    #[test]
+    fn any_active_tracks_airtime() {
+        let mut ch = Channel::new(Capture::None);
+        assert!(!ch.any_active(0));
+        ch.begin_tx(rts(0, 1), 3);
+        assert!(!ch.any_active(2));
+        assert!(ch.any_active(3));
+        assert!(!ch.any_active(4));
+    }
+}

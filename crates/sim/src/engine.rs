@@ -1,0 +1,353 @@
+//! The slotted simulation engine.
+//!
+//! [`Engine::step`] advances the whole network by one slot:
+//!
+//! 1. transmissions whose airtime ends this slot are resolved against the
+//!    channel (collisions, capture) and delivered via
+//!    [`Station::on_receive`],
+//! 2. every station gets an [`Station::on_slot`] call with its local
+//!    carrier-sense state (the channel as of the *previous* slot) and may
+//!    queue new transmissions,
+//! 3. queued transmissions go on the air starting this slot.
+//!
+//! Stations starting in the same slot therefore cannot see each other —
+//! the canonical slotted-CSMA collision mechanism.
+
+use crate::capture::Capture;
+use crate::channel::Channel;
+use crate::frame::Frame;
+use crate::ids::{NodeId, Slot};
+use crate::topology::Topology;
+use crate::trace::{Trace, TraceEvent};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Per-call context handed to stations.
+pub struct Ctx<'a> {
+    /// Current slot.
+    pub now: Slot,
+    /// The station being called.
+    pub node: NodeId,
+    /// Carrier sense: was the medium busy at this station during the
+    /// previous slot?
+    pub busy: bool,
+    out: &'a mut Vec<Frame>,
+}
+
+impl Ctx<'_> {
+    /// Puts `frame` on the air starting at the current slot. The frame's
+    /// `src` must be the station itself.
+    pub fn send(&mut self, frame: Frame) {
+        debug_assert_eq!(frame.src, self.node, "stations may only send as themselves");
+        self.out.push(frame);
+    }
+}
+
+/// A MAC entity driven by the engine. Implemented by every protocol in
+/// the `rmm-mac` crate.
+pub trait Station {
+    /// A frame addressed to (or overheard by) this station was decoded.
+    /// Called at the beginning of the slot following the frame's last
+    /// airtime slot, before `on_slot`.
+    fn on_receive(&mut self, frame: &Frame, captured: bool, ctx: &mut Ctx<'_>);
+
+    /// Called once per slot, after receptions. The station may inspect
+    /// carrier sense and queue transmissions starting this slot.
+    fn on_slot(&mut self, ctx: &mut Ctx<'_>);
+}
+
+/// The slotted simulation engine: topology + channel + clock.
+pub struct Engine {
+    topo: Topology,
+    channel: Channel,
+    now: Slot,
+    rng: SmallRng,
+    trace: Option<Trace>,
+    outbox: Vec<Frame>,
+}
+
+impl Engine {
+    /// Creates an engine over `topo` with the given capture model and
+    /// channel RNG seed.
+    pub fn new(topo: Topology, capture: Capture, seed: u64) -> Self {
+        Engine {
+            topo,
+            channel: Channel::new(capture),
+            now: 0,
+            rng: SmallRng::seed_from_u64(seed),
+            trace: None,
+            outbox: Vec::new(),
+        }
+    }
+
+    /// Sets the channel's independent frame error rate.
+    pub fn set_fer(&mut self, fer: f64) {
+        self.channel.set_fer(fer);
+    }
+
+    /// Enables event tracing (disabled by default; it allocates).
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(Trace::new());
+    }
+
+    /// The trace, if tracing was enabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    /// Current slot (the next one to be stepped).
+    pub fn now(&self) -> Slot {
+        self.now
+    }
+
+    /// The network topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Replaces the ground-truth topology (node mobility). Station count
+    /// must not change. Transmissions already on the air resolve against
+    /// the new geometry — acceptable at epoch granularity, since motion
+    /// per frame airtime is negligible at realistic speeds.
+    pub fn set_topology(&mut self, topo: Topology) {
+        assert_eq!(topo.len(), self.topo.len(), "station count is fixed");
+        self.topo = topo;
+    }
+
+    /// The radio channel (for inspection in tests and stats).
+    pub fn channel(&self) -> &Channel {
+        &self.channel
+    }
+
+    /// Advances the network by one slot. `stations[i]` is the MAC entity
+    /// of `NodeId(i)`; the slice length must match the topology.
+    pub fn step<S: Station>(&mut self, stations: &mut [S]) {
+        debug_assert_eq!(stations.len(), self.topo.len());
+        let now = self.now;
+
+        // Phase 1: resolve frames ending now and deliver them.
+        let outcome = self.channel.resolve_ended(now, &self.topo, &mut self.rng);
+        if let Some(trace) = &mut self.trace {
+            for c in &outcome.collisions {
+                trace.push(TraceEvent::Collision {
+                    slot: now,
+                    node: c.receiver,
+                    senders: c.senders.clone(),
+                });
+            }
+            for r in &outcome.receptions {
+                trace.push(TraceEvent::RxOk {
+                    slot: now,
+                    node: r.receiver,
+                    from: r.frame.src,
+                    kind: r.frame.kind,
+                    captured: r.captured,
+                });
+            }
+        }
+        self.channel.count_collisions(outcome.collisions.len());
+        self.channel.frame_errors_total += outcome.frame_errors.len() as u64;
+        for rec in &outcome.receptions {
+            let node = rec.receiver;
+            let busy = self.channel.busy_prev_slot(node, now, &self.topo);
+            let mut ctx = Ctx {
+                now,
+                node,
+                busy,
+                out: &mut self.outbox,
+            };
+            stations[node.index()].on_receive(&rec.frame, rec.captured, &mut ctx);
+        }
+
+        // Phase 2: per-slot decisions.
+        for (i, station) in stations.iter_mut().enumerate() {
+            let node = NodeId(i as u32);
+            let busy = self.channel.busy_prev_slot(node, now, &self.topo);
+            let mut ctx = Ctx {
+                now,
+                node,
+                busy,
+                out: &mut self.outbox,
+            };
+            station.on_slot(&mut ctx);
+        }
+
+        // Phase 3: new transmissions go on the air.
+        for frame in self.outbox.drain(..) {
+            if let Some(trace) = &mut self.trace {
+                trace.tx_start(now, &frame);
+            }
+            self.channel.begin_tx(frame, now);
+        }
+        if self.channel.any_active(now) {
+            self.channel.busy_slots += 1;
+        }
+        self.channel.prune(now);
+        self.now = now + 1;
+    }
+
+    /// Runs `slots` steps.
+    pub fn run<S: Station>(&mut self, stations: &mut [S], slots: Slot) {
+        for _ in 0..slots {
+            self.step(stations);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::{Dest, FrameKind};
+    use crate::ids::MsgId;
+    use rmm_geom::Point;
+
+    /// A scripted station: transmits given frames at given slots, records
+    /// everything it hears.
+    #[derive(Default)]
+    struct Scripted {
+        plan: Vec<(Slot, Frame)>,
+        heard: Vec<(Slot, NodeId, FrameKind)>,
+        busy_log: Vec<bool>,
+    }
+
+    impl Station for Scripted {
+        fn on_receive(&mut self, frame: &Frame, _captured: bool, ctx: &mut Ctx<'_>) {
+            self.heard.push((ctx.now, frame.src, frame.kind));
+        }
+        fn on_slot(&mut self, ctx: &mut Ctx<'_>) {
+            self.busy_log.push(ctx.busy);
+            while let Some(pos) = self.plan.iter().position(|(s, _)| *s == ctx.now) {
+                let (_, frame) = self.plan.remove(pos);
+                ctx.send(frame);
+            }
+        }
+    }
+
+    fn pair_topo() -> Topology {
+        Topology::new(vec![Point::new(0.0, 0.0), Point::new(0.1, 0.0)], 0.2)
+    }
+
+    fn rts(src: u32, dst: u32) -> Frame {
+        Frame::control(
+            FrameKind::Rts,
+            NodeId(src),
+            Dest::Node(NodeId(dst)),
+            0,
+            MsgId::new(NodeId(src), 0),
+        )
+    }
+
+    #[test]
+    fn frame_is_delivered_next_slot() {
+        let mut eng = Engine::new(pair_topo(), Capture::None, 1);
+        let mut st = vec![
+            Scripted {
+                plan: vec![(0, rts(0, 1))],
+                ..Default::default()
+            },
+            Scripted::default(),
+        ];
+        eng.run(&mut st, 3);
+        assert_eq!(st[1].heard, vec![(1, NodeId(0), FrameKind::Rts)]);
+    }
+
+    #[test]
+    fn carrier_sense_lags_one_slot() {
+        let mut eng = Engine::new(pair_topo(), Capture::None, 1);
+        let mut st = vec![
+            Scripted {
+                plan: vec![(0, rts(0, 1))],
+                ..Default::default()
+            },
+            Scripted::default(),
+        ];
+        eng.run(&mut st, 3);
+        // Node 1: slot 0 idle (no history), slot 1 busy (slot 0 had the
+        // RTS), slot 2 idle again.
+        assert_eq!(st[1].busy_log, vec![false, true, false]);
+    }
+
+    #[test]
+    fn simultaneous_starts_collide() {
+        let mut eng = Engine::new(
+            Topology::new(
+                vec![
+                    Point::new(0.0, 0.0),
+                    Point::new(0.1, 0.0),
+                    Point::new(0.2, 0.0),
+                ],
+                0.15,
+            ),
+            Capture::None,
+            1,
+        );
+        // 0 and 2 both transmit at slot 0; they are hidden from each other
+        // and both frames die at 1.
+        let mut st = vec![
+            Scripted {
+                plan: vec![(0, rts(0, 1))],
+                ..Default::default()
+            },
+            Scripted::default(),
+            Scripted {
+                plan: vec![(0, rts(2, 1))],
+                ..Default::default()
+            },
+        ];
+        eng.run(&mut st, 3);
+        assert!(st[1].heard.is_empty());
+        assert_eq!(eng.channel().collisions_total, 1);
+    }
+
+    #[test]
+    fn trace_records_tx_and_rx() {
+        let mut eng = Engine::new(pair_topo(), Capture::None, 1);
+        eng.enable_trace();
+        let mut st = vec![
+            Scripted {
+                plan: vec![(0, rts(0, 1))],
+                ..Default::default()
+            },
+            Scripted::default(),
+        ];
+        eng.run(&mut st, 3);
+        let evs = eng.trace().unwrap().events();
+        assert!(matches!(evs[0], TraceEvent::TxStart { slot: 0, .. }));
+        assert!(matches!(evs[1], TraceEvent::RxOk { slot: 1, .. }));
+    }
+
+    #[test]
+    fn data_frame_occupies_multiple_slots() {
+        let mut eng = Engine::new(pair_topo(), Capture::None, 1);
+        let data = Frame::data(
+            NodeId(0),
+            Dest::Node(NodeId(1)),
+            0,
+            MsgId::new(NodeId(0), 0),
+            5,
+        );
+        let mut st = vec![
+            Scripted {
+                plan: vec![(0, data)],
+                ..Default::default()
+            },
+            Scripted::default(),
+        ];
+        eng.run(&mut st, 8);
+        assert_eq!(st[1].heard, vec![(5, NodeId(0), FrameKind::Data)]);
+        // Busy during decisions at slots 1..=5.
+        assert_eq!(
+            st[1].busy_log,
+            vec![false, true, true, true, true, true, false, false]
+        );
+    }
+
+    #[test]
+    fn run_advances_clock() {
+        let mut eng = Engine::new(pair_topo(), Capture::None, 1);
+        let mut st = vec![Scripted::default(), Scripted::default()];
+        assert_eq!(eng.now(), 0);
+        eng.run(&mut st, 10);
+        assert_eq!(eng.now(), 10);
+    }
+}

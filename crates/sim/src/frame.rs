@@ -1,0 +1,209 @@
+//! MAC frames.
+//!
+//! The paper deliberately reuses the IEEE 802.11 control frame formats
+//! (RTS, CTS, ACK) and adds one new type, **RAK** (*Request for ACK*),
+//! with the same format as ACK: frame control, Duration, receiver address
+//! and FCS. We model exactly the fields the protocols read: kind,
+//! transmitter, receiver address(es), the Duration/NAV field (in slots)
+//! and the message id. Airtime is expressed in slots (control = 1 slot,
+//! data = 5 slots in the paper's simulation).
+
+use crate::ids::{MsgId, NodeId};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// The frame types used by the protocol suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FrameKind {
+    /// Request To Send.
+    Rts,
+    /// Clear To Send.
+    Cts,
+    /// Data frame (payload).
+    Data,
+    /// Acknowledgement.
+    Ack,
+    /// Request for ACK — the control frame BMMM introduces to serialize
+    /// receiver acknowledgements (same format as ACK).
+    Rak,
+    /// Negative acknowledgement (BSMA only).
+    Nak,
+}
+
+impl FrameKind {
+    /// Whether this is a control frame (everything except `Data`).
+    #[inline]
+    pub fn is_control(self) -> bool {
+        !matches!(self, FrameKind::Data)
+    }
+}
+
+/// Receiver address of a frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Dest {
+    /// A single addressed station (RA field).
+    Node(NodeId),
+    /// A multicast group (shared so group frames stay cheap to clone).
+    Group(Arc<[NodeId]>),
+}
+
+impl Dest {
+    /// Builds a group destination from a vector of receivers.
+    pub fn group(receivers: Vec<NodeId>) -> Self {
+        Dest::Group(receivers.into())
+    }
+
+    /// Whether `node` is an addressed receiver of this frame.
+    pub fn addresses(&self, node: NodeId) -> bool {
+        match self {
+            Dest::Node(n) => *n == node,
+            Dest::Group(g) => g.contains(&node),
+        }
+    }
+
+    /// The single addressed node, if unicast-addressed.
+    pub fn node(&self) -> Option<NodeId> {
+        match self {
+            Dest::Node(n) => Some(*n),
+            Dest::Group(_) => None,
+        }
+    }
+}
+
+/// Protocol-specific extra frame content.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameInfo {
+    /// No extra content.
+    None,
+    /// BMW CTS: `have = true` suppresses the data transmission because the
+    /// receiver already holds every frame up to the advertised sequence.
+    BmwCts {
+        /// Receiver already has the message.
+        have: bool,
+    },
+}
+
+/// A MAC frame on the air.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// Frame type.
+    pub kind: FrameKind,
+    /// Transmitting station (TA).
+    pub src: NodeId,
+    /// Receiver address(es) (RA).
+    pub dest: Dest,
+    /// 802.11 Duration field: slots of NAV the frame reserves *after* its
+    /// own airtime. Overhearing stations yield this long.
+    pub duration: u32,
+    /// The message this frame belongs to.
+    pub msg: MsgId,
+    /// Airtime in slots (control frames take 1 slot, data 5 by default).
+    pub slots: u32,
+    /// Protocol-specific payload.
+    pub info: FrameInfo,
+}
+
+impl Frame {
+    /// Convenience constructor for a 1-slot control frame.
+    pub fn control(kind: FrameKind, src: NodeId, dest: Dest, duration: u32, msg: MsgId) -> Self {
+        debug_assert!(kind.is_control());
+        Frame {
+            kind,
+            src,
+            dest,
+            duration,
+            msg,
+            slots: 1,
+            info: FrameInfo::None,
+        }
+    }
+
+    /// Convenience constructor for a data frame of `slots` airtime.
+    pub fn data(src: NodeId, dest: Dest, duration: u32, msg: MsgId, slots: u32) -> Self {
+        Frame {
+            kind: FrameKind::Data,
+            src,
+            dest,
+            duration,
+            msg,
+            slots,
+            info: FrameInfo::None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nid(n: u32) -> NodeId {
+        NodeId(n)
+    }
+
+    #[test]
+    fn control_frames_are_one_slot() {
+        let f = Frame::control(
+            FrameKind::Rts,
+            nid(0),
+            Dest::Node(nid(1)),
+            9,
+            MsgId::new(nid(0), 0),
+        );
+        assert_eq!(f.slots, 1);
+        assert!(f.kind.is_control());
+    }
+
+    #[test]
+    fn data_frames_are_not_control() {
+        assert!(!FrameKind::Data.is_control());
+        for k in [
+            FrameKind::Rts,
+            FrameKind::Cts,
+            FrameKind::Ack,
+            FrameKind::Rak,
+            FrameKind::Nak,
+        ] {
+            assert!(k.is_control());
+        }
+    }
+
+    #[test]
+    fn dest_node_addresses_only_that_node() {
+        let d = Dest::Node(nid(3));
+        assert!(d.addresses(nid(3)));
+        assert!(!d.addresses(nid(4)));
+        assert_eq!(d.node(), Some(nid(3)));
+    }
+
+    #[test]
+    fn dest_group_addresses_members() {
+        let d = Dest::group(vec![nid(1), nid(2), nid(5)]);
+        assert!(d.addresses(nid(1)));
+        assert!(d.addresses(nid(5)));
+        assert!(!d.addresses(nid(3)));
+        assert_eq!(d.node(), None);
+    }
+
+    #[test]
+    fn group_clone_is_shallow() {
+        let d = Dest::group((0..64).map(nid).collect());
+        let d2 = d.clone();
+        match (&d, &d2) {
+            (Dest::Group(a), Dest::Group(b)) => assert!(Arc::ptr_eq(a, b)),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn data_constructor_sets_airtime() {
+        let f = Frame::data(
+            nid(0),
+            Dest::group(vec![nid(1)]),
+            0,
+            MsgId::new(nid(0), 7),
+            5,
+        );
+        assert_eq!(f.slots, 5);
+        assert_eq!(f.kind, FrameKind::Data);
+    }
+}

@@ -1,0 +1,158 @@
+//! Network topology: station positions and neighbor tables.
+//!
+//! In the protocols' world view, neighbor MAC addresses (and, for LAMM,
+//! neighbor positions) are learned from periodic beacons. The simulator
+//! precomputes this knowledge here; LAMM senders only ever read the
+//! positions of their own neighbors, mirroring what beacons would carry.
+
+use crate::ids::NodeId;
+use rmm_geom::Point;
+use serde::{Deserialize, Serialize};
+
+/// Static topology: positions plus derived neighbor tables.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Topology {
+    positions: Vec<Point>,
+    radius: f64,
+    neighbors: Vec<Vec<NodeId>>,
+}
+
+impl Topology {
+    /// Builds a topology from station positions and a shared transmission
+    /// radius. Neighborhood is symmetric: `dist ≤ radius`, excluding self.
+    pub fn new(positions: Vec<Point>, radius: f64) -> Self {
+        assert!(radius > 0.0, "transmission radius must be positive");
+        let n = positions.len();
+        let mut neighbors = vec![Vec::new(); n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if positions[i].within(&positions[j], radius) {
+                    neighbors[i].push(NodeId(j as u32));
+                    neighbors[j].push(NodeId(i as u32));
+                }
+            }
+        }
+        Topology {
+            positions,
+            radius,
+            neighbors,
+        }
+    }
+
+    /// Number of stations.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Whether the topology has no stations.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Shared transmission radius.
+    pub fn radius(&self) -> f64 {
+        self.radius
+    }
+
+    /// Position of a station.
+    pub fn position(&self, node: NodeId) -> Point {
+        self.positions[node.index()]
+    }
+
+    /// All positions, indexed by station.
+    pub fn positions(&self) -> &[Point] {
+        &self.positions
+    }
+
+    /// Neighbors of a station (within radius, excluding itself).
+    pub fn neighbors(&self, node: NodeId) -> &[NodeId] {
+        &self.neighbors[node.index()]
+    }
+
+    /// Whether `b` is audible at `a` (within the shared radius).
+    #[inline]
+    pub fn in_range(&self, a: NodeId, b: NodeId) -> bool {
+        a != b && self.positions[a.index()].within(&self.positions[b.index()], self.radius)
+    }
+
+    /// Distance between two stations.
+    #[inline]
+    pub fn distance(&self, a: NodeId, b: NodeId) -> f64 {
+        self.positions[a.index()].dist(&self.positions[b.index()])
+    }
+
+    /// Mean number of neighbors across stations — the x-axis of the
+    /// paper's density figures.
+    pub fn mean_degree(&self) -> f64 {
+        if self.neighbors.is_empty() {
+            return 0.0;
+        }
+        self.neighbors.iter().map(|n| n.len()).sum::<usize>() as f64 / self.neighbors.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_topology() -> Topology {
+        // 0 -- 1 -- 2, with 0 and 2 out of range of each other (the
+        // canonical hidden-terminal layout from Section 2.1).
+        Topology::new(
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(0.15, 0.0),
+                Point::new(0.3, 0.0),
+            ],
+            0.2,
+        )
+    }
+
+    #[test]
+    fn neighbors_are_symmetric() {
+        let t = line_topology();
+        assert_eq!(t.neighbors(NodeId(0)), &[NodeId(1)]);
+        assert_eq!(t.neighbors(NodeId(1)), &[NodeId(0), NodeId(2)]);
+        assert_eq!(t.neighbors(NodeId(2)), &[NodeId(1)]);
+    }
+
+    #[test]
+    fn hidden_terminals_not_in_range() {
+        let t = line_topology();
+        assert!(!t.in_range(NodeId(0), NodeId(2)));
+        assert!(t.in_range(NodeId(0), NodeId(1)));
+        assert!(t.in_range(NodeId(2), NodeId(1)));
+    }
+
+    #[test]
+    fn node_is_not_its_own_neighbor() {
+        let t = line_topology();
+        assert!(!t.in_range(NodeId(1), NodeId(1)));
+        assert!(!t.neighbors(NodeId(1)).contains(&NodeId(1)));
+    }
+
+    #[test]
+    fn range_is_inclusive_at_radius() {
+        let t = Topology::new(vec![Point::new(0.0, 0.0), Point::new(0.2, 0.0)], 0.2);
+        assert!(t.in_range(NodeId(0), NodeId(1)));
+    }
+
+    #[test]
+    fn mean_degree_of_line() {
+        let t = line_topology();
+        assert!((t.mean_degree() - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_topology() {
+        let t = Topology::new(vec![], 0.2);
+        assert!(t.is_empty());
+        assert_eq!(t.mean_degree(), 0.0);
+    }
+
+    #[test]
+    fn distance_matches_positions() {
+        let t = line_topology();
+        assert!((t.distance(NodeId(0), NodeId(2)) - 0.3).abs() < 1e-12);
+    }
+}

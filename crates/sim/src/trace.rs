@@ -1,0 +1,307 @@
+//! Event tracing, used for the Figure-2-style timelines and debugging.
+
+use crate::frame::{Dest, Frame, FrameKind};
+use crate::ids::{MsgId, NodeId, Slot};
+
+/// A recorded simulator event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A station put a frame on the air.
+    TxStart {
+        /// Slot at which the transmission starts.
+        slot: Slot,
+        /// Transmitting station.
+        node: NodeId,
+        /// Frame type.
+        kind: FrameKind,
+        /// Addressed station for unicast-addressed frames.
+        dest: Option<NodeId>,
+        /// Message the frame belongs to.
+        msg: MsgId,
+        /// Airtime in slots.
+        slots: u32,
+    },
+    /// A station decoded a frame.
+    RxOk {
+        /// Slot at which the frame ended.
+        slot: Slot,
+        /// Receiving station.
+        node: NodeId,
+        /// Transmitting station.
+        from: NodeId,
+        /// Frame type.
+        kind: FrameKind,
+        /// Whether the capture effect was needed.
+        captured: bool,
+    },
+    /// Frames collided at a station.
+    Collision {
+        /// Slot at which the collision resolved.
+        slot: Slot,
+        /// Station at which the frames collided.
+        node: NodeId,
+        /// Senders involved.
+        senders: Vec<NodeId>,
+    },
+}
+
+impl TraceEvent {
+    /// The slot the event happened in.
+    pub fn slot(&self) -> Slot {
+        match self {
+            TraceEvent::TxStart { slot, .. }
+            | TraceEvent::RxOk { slot, .. }
+            | TraceEvent::Collision { slot, .. } => *slot,
+        }
+    }
+}
+
+/// An append-only event log.
+#[derive(Debug, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, ev: TraceEvent) {
+        self.events.push(ev);
+    }
+
+    /// All recorded events, in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Records a transmission start.
+    pub fn tx_start(&mut self, slot: Slot, frame: &Frame) {
+        let dest = match &frame.dest {
+            Dest::Node(n) => Some(*n),
+            Dest::Group(_) => None,
+        };
+        self.push(TraceEvent::TxStart {
+            slot,
+            node: frame.src,
+            kind: frame.kind,
+            dest,
+            msg: frame.msg,
+            slots: frame.slots,
+        });
+    }
+
+    /// Renders the transmissions of the trace as a compact per-slot
+    /// timeline string: one line per transmission, Figure-2 style.
+    pub fn render_timeline(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for ev in &self.events {
+            if let TraceEvent::TxStart {
+                slot,
+                node,
+                kind,
+                dest,
+                slots,
+                ..
+            } = ev
+            {
+                let dest = dest.map(|d| d.to_string()).unwrap_or_else(|| "grp".into());
+                let _ = writeln!(
+                    out,
+                    "slot {slot:>5}  {node:>4} -> {dest:<4}  {kind:?} ({slots} slot{})",
+                    if *slots == 1 { "" } else { "s" }
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Airtime occupied by transmissions in `events`, broken down by frame
+/// kind (slots).
+pub fn airtime_by_kind(events: &[TraceEvent]) -> std::collections::HashMap<FrameKind, u64> {
+    let mut out = std::collections::HashMap::new();
+    for ev in events {
+        if let TraceEvent::TxStart { kind, slots, .. } = ev {
+            *out.entry(*kind).or_insert(0) += u64::from(*slots);
+        }
+    }
+    out
+}
+
+/// The transmissions of one station within `[from, to)`, as
+/// `(start, end)` slot intervals sorted by start.
+pub fn tx_intervals_of(
+    events: &[TraceEvent],
+    node: NodeId,
+    from: Slot,
+    to: Slot,
+) -> Vec<(Slot, Slot)> {
+    let mut out: Vec<(Slot, Slot)> = events
+        .iter()
+        .filter_map(|ev| match ev {
+            TraceEvent::TxStart {
+                slot,
+                node: n,
+                slots,
+                ..
+            } if *n == node && *slot >= from && *slot < to => {
+                Some((*slot, slot + Slot::from(*slots)))
+            }
+            _ => None,
+        })
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+/// The largest medium-idle gap (slots) between *any* consecutive
+/// transmissions in `[from, to)`, considering every station. Returns 0
+/// if fewer than two transmissions fall in the window.
+///
+/// This is the measurement behind the paper's co-existence invariant:
+/// inside a BMMM batch the gap never reaches DIFS, so no bystander's
+/// backoff can complete.
+pub fn max_idle_gap(events: &[TraceEvent], from: Slot, to: Slot) -> u64 {
+    let mut intervals: Vec<(Slot, Slot)> = events
+        .iter()
+        .filter_map(|ev| match ev {
+            TraceEvent::TxStart { slot, slots, .. } if *slot >= from && *slot < to => {
+                Some((*slot, slot + Slot::from(*slots)))
+            }
+            _ => None,
+        })
+        .collect();
+    intervals.sort_unstable();
+    let mut max_gap = 0u64;
+    let mut busy_until = match intervals.first() {
+        Some(&(s, e)) => {
+            let _ = s;
+            e
+        }
+        None => return 0,
+    };
+    for &(s, e) in &intervals[1..] {
+        if s > busy_until {
+            max_gap = max_gap.max(s - busy_until);
+        }
+        busy_until = busy_until.max(e);
+    }
+    max_gap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::Frame;
+
+    #[test]
+    fn trace_records_in_order() {
+        let mut tr = Trace::new();
+        let f = Frame::control(
+            FrameKind::Rts,
+            NodeId(0),
+            Dest::Node(NodeId(1)),
+            0,
+            MsgId::new(NodeId(0), 0),
+        );
+        tr.tx_start(3, &f);
+        tr.push(TraceEvent::RxOk {
+            slot: 4,
+            node: NodeId(1),
+            from: NodeId(0),
+            kind: FrameKind::Rts,
+            captured: false,
+        });
+        assert_eq!(tr.events().len(), 2);
+        assert_eq!(tr.events()[0].slot(), 3);
+        assert_eq!(tr.events()[1].slot(), 4);
+    }
+
+    #[test]
+    fn airtime_accounting() {
+        let mut tr = Trace::new();
+        let msg = MsgId::new(NodeId(0), 0);
+        tr.tx_start(
+            0,
+            &Frame::control(FrameKind::Rts, NodeId(0), Dest::Node(NodeId(1)), 0, msg),
+        );
+        tr.tx_start(2, &Frame::data(NodeId(0), Dest::Node(NodeId(1)), 0, msg, 5));
+        tr.tx_start(
+            8,
+            &Frame::control(FrameKind::Ack, NodeId(1), Dest::Node(NodeId(0)), 0, msg),
+        );
+        let airtime = airtime_by_kind(tr.events());
+        assert_eq!(airtime[&FrameKind::Rts], 1);
+        assert_eq!(airtime[&FrameKind::Data], 5);
+        assert_eq!(airtime[&FrameKind::Ack], 1);
+    }
+
+    #[test]
+    fn idle_gap_measurement() {
+        let mut tr = Trace::new();
+        let msg = MsgId::new(NodeId(0), 0);
+        // Tx at [0,1), [2,3) (gap 1), [10,11) (gap 7).
+        for (slot, kind) in [
+            (0, FrameKind::Rts),
+            (2, FrameKind::Cts),
+            (10, FrameKind::Ack),
+        ] {
+            tr.tx_start(
+                slot,
+                &Frame::control(kind, NodeId(0), Dest::Node(NodeId(1)), 0, msg),
+            );
+        }
+        assert_eq!(max_idle_gap(tr.events(), 0, 20), 7);
+        assert_eq!(max_idle_gap(tr.events(), 0, 9), 1);
+        assert_eq!(max_idle_gap(tr.events(), 0, 1), 0);
+        assert_eq!(max_idle_gap(&[], 0, 10), 0);
+    }
+
+    #[test]
+    fn interval_extraction_is_per_node_and_sorted() {
+        let mut tr = Trace::new();
+        let msg = MsgId::new(NodeId(0), 0);
+        tr.tx_start(
+            5,
+            &Frame::control(FrameKind::Cts, NodeId(1), Dest::Node(NodeId(0)), 0, msg),
+        );
+        tr.tx_start(
+            1,
+            &Frame::control(FrameKind::Rts, NodeId(0), Dest::Node(NodeId(1)), 0, msg),
+        );
+        tr.tx_start(
+            8,
+            &Frame::control(FrameKind::Rak, NodeId(0), Dest::Node(NodeId(1)), 0, msg),
+        );
+        assert_eq!(
+            tx_intervals_of(tr.events(), NodeId(0), 0, 20),
+            vec![(1, 2), (8, 9)]
+        );
+        assert_eq!(tx_intervals_of(tr.events(), NodeId(1), 0, 20), vec![(5, 6)]);
+        assert_eq!(tx_intervals_of(tr.events(), NodeId(0), 0, 5), vec![(1, 2)]);
+    }
+
+    #[test]
+    fn timeline_mentions_frames() {
+        let mut tr = Trace::new();
+        let f = Frame::data(
+            NodeId(2),
+            Dest::group(vec![NodeId(3)]),
+            0,
+            MsgId::new(NodeId(2), 1),
+            5,
+        );
+        tr.tx_start(10, &f);
+        let line = tr.render_timeline();
+        assert!(line.contains("slot    10"));
+        assert!(line.contains("n2"));
+        assert!(line.contains("Data"));
+        assert!(line.contains("grp"));
+        assert!(line.contains("5 slots"));
+    }
+}

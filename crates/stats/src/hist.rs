@@ -1,0 +1,174 @@
+//! Histograms and percentiles — distribution views of completion time
+//! and contention counts beyond the paper's means.
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed-width-bin histogram over `[lo, hi)` with overflow/underflow
+/// bins.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins over `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(hi > lo && bins > 0);
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let n = self.bins.len();
+            let idx = ((x - self.lo) / (self.hi - self.lo) * n as f64) as usize;
+            self.bins[idx.min(n - 1)] += 1;
+        }
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Per-bin counts (excluding under/overflow).
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Samples below `lo` / at-or-above `hi`.
+    pub fn out_of_range(&self) -> (u64, u64) {
+        (self.underflow, self.overflow)
+    }
+
+    /// Lower edge of bin `i`.
+    pub fn bin_lo(&self, i: usize) -> f64 {
+        self.lo + (self.hi - self.lo) * i as f64 / self.bins.len() as f64
+    }
+
+    /// A one-line ASCII sparkline of the distribution.
+    pub fn sparkline(&self) -> String {
+        const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+        let max = self.bins.iter().copied().max().unwrap_or(0).max(1);
+        self.bins
+            .iter()
+            .map(|&c| {
+                GLYPHS[(c as usize * (GLYPHS.len() - 1))
+                    .div_ceil(max as usize)
+                    .min(7)]
+            })
+            .collect()
+    }
+}
+
+/// The `p`-th percentile (0–100) of `samples` by linear interpolation on
+/// the sorted data. Returns 0 for empty input.
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples are finite"));
+    let rank = (p.clamp(0.0, 100.0) / 100.0) * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_land_in_the_right_bins() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record(0.5);
+        h.record(5.5);
+        h.record(9.9);
+        assert_eq!(h.bins()[0], 1);
+        assert_eq!(h.bins()[5], 1);
+        assert_eq!(h.bins()[9], 1);
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn out_of_range_samples_are_counted() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.record(-1.0);
+        h.record(10.0);
+        h.record(99.0);
+        assert_eq!(h.out_of_range(), (1, 2));
+        assert_eq!(h.count(), 3);
+        assert!(h.bins().iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn bin_edges() {
+        let h = Histogram::new(0.0, 100.0, 4);
+        assert_eq!(h.bin_lo(0), 0.0);
+        assert_eq!(h.bin_lo(2), 50.0);
+    }
+
+    #[test]
+    fn sparkline_has_one_glyph_per_bin() {
+        let mut h = Histogram::new(0.0, 4.0, 4);
+        for x in [0.5, 0.6, 1.5, 3.5] {
+            h.record(x);
+        }
+        assert_eq!(h.sparkline().chars().count(), 4);
+    }
+
+    #[test]
+    fn percentile_of_known_data() {
+        let data: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert!((percentile(&data, 0.0) - 1.0).abs() < 1e-9);
+        assert!((percentile(&data, 100.0) - 100.0).abs() < 1e-9);
+        assert!((percentile(&data, 50.0) - 50.5).abs() < 1e-9);
+        assert!((percentile(&data, 95.0) - 95.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        assert!((percentile(&[0.0, 10.0], 25.0) - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_handles_degenerate_inputs() {
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[7.0], 99.0), 7.0);
+        assert_eq!(percentile(&[3.0, 3.0, 3.0], 50.0), 3.0);
+    }
+
+    #[test]
+    fn percentile_is_monotone_in_p() {
+        let data = [5.0, 1.0, 9.0, 4.0, 2.0, 8.0];
+        let mut prev = f64::NEG_INFINITY;
+        for p in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 100.0] {
+            let v = percentile(&data, p);
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+}

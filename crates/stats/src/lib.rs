@@ -1,0 +1,27 @@
+//! Metrics and statistics for the multicast MAC evaluation.
+//!
+//! The paper's three evaluation metrics (Section 7):
+//!
+//! * **successful delivery rate** — successful transmissions / requests,
+//!   where a transmission succeeds iff it completes before the service
+//!   timeout *and* reaches at least the *reliability threshold* fraction
+//!   of its intended receivers,
+//! * **average number of contention phases** per message,
+//! * **average message completion time**.
+//!
+//! [`MessageMetric`] is the protocol-agnostic per-message record these
+//! are computed from; [`Summary`] aggregates per-run values across seeds
+//! with 95% confidence intervals; [`table`] renders result tables.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod hist;
+pub mod metrics;
+pub mod summary;
+pub mod table;
+
+pub use hist::{percentile, Histogram};
+pub use metrics::{MessageMetric, RunMetrics};
+pub use summary::Summary;
+pub use table::{write_csv, Table};

@@ -1,0 +1,180 @@
+//! Per-message metrics and per-run aggregation.
+
+use serde::{Deserialize, Serialize};
+
+/// One message's fate, reduced to the fields the paper's metrics need.
+/// Produced by the simulation runner from the sender's record plus the
+/// ground-truth receiver ledger.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MessageMetric {
+    /// Multicast/broadcast (`true`) vs unicast (`false`).
+    pub is_group: bool,
+    /// Number of intended receivers.
+    pub intended: usize,
+    /// Intended receivers that actually decoded the data frame.
+    pub delivered: usize,
+    /// The sender's protocol run finished (it believes the transfer done).
+    pub completed: bool,
+    /// The service timeout expired first.
+    pub timed_out: bool,
+    /// Contention phases spent on the message.
+    pub contention_phases: u32,
+    /// Slots from arrival to completion, when completed.
+    pub completion_time: Option<u64>,
+    /// Arrival slot (for end-of-run population cuts).
+    pub arrival: u64,
+}
+
+impl MessageMetric {
+    /// Fraction of intended receivers reached (1.0 for empty groups).
+    pub fn delivered_frac(&self) -> f64 {
+        if self.intended == 0 {
+            1.0
+        } else {
+            self.delivered as f64 / self.intended as f64
+        }
+    }
+
+    /// The paper's success criterion: completed before timing out *and*
+    /// delivered to at least `threshold` of the intended receivers.
+    pub fn successful(&self, threshold: f64) -> bool {
+        self.completed && !self.timed_out && self.delivered_frac() + 1e-12 >= threshold
+    }
+}
+
+/// Aggregate metrics of one simulation run.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// Messages in the population.
+    pub messages: usize,
+    /// Successful delivery rate at the configured threshold.
+    pub delivery_rate: f64,
+    /// Mean contention phases per message.
+    pub avg_contention_phases: f64,
+    /// Mean completion time over completed messages (slots).
+    pub avg_completion_time: f64,
+    /// Mean delivered fraction over all messages.
+    pub avg_delivered_frac: f64,
+}
+
+impl RunMetrics {
+    /// Computes the paper's metrics over `messages` at the given
+    /// reliability `threshold`. By convention only group messages are
+    /// counted (the figures compare multicast service); pass
+    /// pre-filtered slices for other populations.
+    pub fn compute(messages: &[MessageMetric], threshold: f64) -> RunMetrics {
+        let n = messages.len();
+        if n == 0 {
+            return RunMetrics {
+                messages: 0,
+                delivery_rate: 0.0,
+                avg_contention_phases: 0.0,
+                avg_completion_time: 0.0,
+                avg_delivered_frac: 0.0,
+            };
+        }
+        let successes = messages.iter().filter(|m| m.successful(threshold)).count();
+        let phases: u64 = messages
+            .iter()
+            .map(|m| u64::from(m.contention_phases))
+            .sum();
+        let (ct_sum, ct_n) = messages
+            .iter()
+            .filter_map(|m| m.completion_time)
+            .fold((0u64, 0usize), |(s, c), t| (s + t, c + 1));
+        let frac_sum: f64 = messages.iter().map(|m| m.delivered_frac()).sum();
+        RunMetrics {
+            messages: n,
+            delivery_rate: successes as f64 / n as f64,
+            avg_contention_phases: phases as f64 / n as f64,
+            avg_completion_time: if ct_n == 0 {
+                0.0
+            } else {
+                ct_sum as f64 / ct_n as f64
+            },
+            avg_delivered_frac: frac_sum / n as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metric(
+        intended: usize,
+        delivered: usize,
+        completed: bool,
+        timed_out: bool,
+    ) -> MessageMetric {
+        MessageMetric {
+            is_group: true,
+            intended,
+            delivered,
+            completed,
+            timed_out,
+            contention_phases: 2,
+            completion_time: completed.then_some(30),
+            arrival: 0,
+        }
+    }
+
+    #[test]
+    fn full_delivery_succeeds_at_any_threshold() {
+        let m = metric(5, 5, true, false);
+        for t in [0.5, 0.9, 1.0] {
+            assert!(m.successful(t));
+        }
+    }
+
+    #[test]
+    fn threshold_cuts_partial_delivery() {
+        let m = metric(10, 8, true, false);
+        assert!(m.successful(0.8));
+        assert!(!m.successful(0.9));
+    }
+
+    #[test]
+    fn timeout_always_fails() {
+        let m = metric(5, 5, false, true);
+        assert!(!m.successful(0.5));
+    }
+
+    #[test]
+    fn completed_but_under_threshold_fails() {
+        // BSMA's failure mode: sender believes done, receivers disagree.
+        let m = metric(4, 1, true, false);
+        assert!(!m.successful(0.9));
+        assert!((m.delivered_frac() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_group_counts_as_fully_delivered() {
+        let m = metric(0, 0, true, false);
+        assert_eq!(m.delivered_frac(), 1.0);
+        assert!(m.successful(1.0));
+    }
+
+    #[test]
+    fn run_metrics_aggregates() {
+        let msgs = vec![
+            metric(5, 5, true, false), // success
+            metric(5, 2, true, false), // under threshold
+            metric(5, 5, false, true), // timeout
+        ];
+        let r = RunMetrics::compute(&msgs, 0.9);
+        assert_eq!(r.messages, 3);
+        assert!((r.delivery_rate - 1.0 / 3.0).abs() < 1e-12);
+        assert!((r.avg_contention_phases - 2.0).abs() < 1e-12);
+        // Two messages completed, both at 30 slots.
+        assert!((r.avg_completion_time - 30.0).abs() < 1e-12);
+        assert!((r.avg_delivered_frac - (1.0 + 0.4 + 1.0) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_population_is_all_zero() {
+        let r = RunMetrics::compute(&[], 0.9);
+        assert_eq!(r.messages, 0);
+        assert_eq!(r.delivery_rate, 0.0);
+    }
+}

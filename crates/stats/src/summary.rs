@@ -1,0 +1,106 @@
+//! Cross-run summaries: mean, standard deviation, 95% confidence
+//! interval. The paper reports means over 100 runs with different random
+//! seeds; we additionally carry the CI so shape comparisons are honest.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator).
+    pub std: f64,
+    /// Half-width of the normal-approximation 95% confidence interval.
+    pub ci95: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics of `samples`. An empty sample yields
+    /// all-zero statistics.
+    pub fn of(samples: &[f64]) -> Summary {
+        let n = samples.len();
+        if n == 0 {
+            return Summary {
+                n: 0,
+                mean: 0.0,
+                std: 0.0,
+                ci95: 0.0,
+            };
+        }
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        if n == 1 {
+            return Summary {
+                n,
+                mean,
+                std: 0.0,
+                ci95: 0.0,
+            };
+        }
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+        let std = var.sqrt();
+        let ci95 = 1.96 * std / (n as f64).sqrt();
+        Summary { n, mean, std, ci95 }
+    }
+
+    /// `mean ± ci95` formatted for tables.
+    pub fn display(&self) -> String {
+        if self.n <= 1 {
+            format!("{:.3}", self.mean)
+        } else {
+            format!("{:.3} ±{:.3}", self.mean, self.ci95)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sample() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn single_sample_has_no_spread() {
+        let s = Summary::of(&[3.5]);
+        assert_eq!(s.mean, 3.5);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.ci95, 0.0);
+    }
+
+    #[test]
+    fn known_mean_and_std() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Sample std with n-1: sqrt(32/7).
+        assert!((s.std - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ci_shrinks_with_sample_size() {
+        let small = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        let big: Vec<f64> = (0..400).map(|i| 1.0 + (i % 4) as f64).collect();
+        let big = Summary::of(&big);
+        assert!(big.ci95 < small.ci95);
+    }
+
+    #[test]
+    fn constant_samples_have_zero_ci() {
+        let s = Summary::of(&[2.0; 50]);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.ci95, 0.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Summary::of(&[1.0]).display(), "1.000");
+        let d = Summary::of(&[1.0, 2.0]).display();
+        assert!(d.starts_with("1.500 ±"));
+    }
+}

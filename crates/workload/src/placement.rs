@@ -1,0 +1,59 @@
+//! Station placement.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rmm_geom::Point;
+use rmm_sim::Topology;
+
+/// Places `n` stations uniformly at random in the unit square and builds
+/// the topology with shared transmission `radius` — the paper's setup
+/// ("we randomly placed 100 nodes in a unit square").
+pub fn uniform_square(n: usize, radius: f64, seed: u64) -> Topology {
+    let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    let pts: Vec<Point> = (0..n)
+        .map(|_| Point::new(rng.random_range(0.0..1.0), rng.random_range(0.0..1.0)))
+        .collect();
+    Topology::new(pts, radius)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placement_is_deterministic_per_seed() {
+        let a = uniform_square(50, 0.2, 7);
+        let b = uniform_square(50, 0.2, 7);
+        for i in 0..50 {
+            assert_eq!(a.positions()[i], b.positions()[i]);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = uniform_square(50, 0.2, 7);
+        let b = uniform_square(50, 0.2, 8);
+        let same = (0..50)
+            .filter(|&i| a.positions()[i] == b.positions()[i])
+            .count();
+        assert!(same < 5);
+    }
+
+    #[test]
+    fn all_points_in_unit_square() {
+        let t = uniform_square(200, 0.2, 3);
+        for p in t.positions() {
+            assert!((0.0..1.0).contains(&p.x));
+            assert!((0.0..1.0).contains(&p.y));
+        }
+    }
+
+    #[test]
+    fn density_matches_theory_roughly() {
+        // Expected degree ≈ n·πr² (ignoring border effects): for n = 100,
+        // r = 0.2 that's ~12.6; border effects pull it to ~10.
+        let t = uniform_square(100, 0.2, 11);
+        let d = t.mean_degree();
+        assert!((6.0..14.0).contains(&d), "mean degree {d}");
+    }
+}

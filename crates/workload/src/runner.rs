@@ -1,0 +1,387 @@
+//! The simulation runner: one seeded run, and parallel sweeps across
+//! seeds (the paper averages 100 runs per data point).
+
+use crate::mobility::{MobilityConfig, RandomWaypoint};
+use crate::placement::uniform_square;
+use crate::scenario::Scenario;
+use crate::traffic::TrafficGen;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rmm_geom::Point;
+use rmm_mac::{FrameKindCounts, MacNode, Outcome, ProtocolKind};
+use rmm_sim::Engine;
+use rmm_stats::{MessageMetric, RunMetrics};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Gaussian sample via Box–Muller (keeps the dependency set small).
+fn gaussian(rng: &mut SmallRng, sigma: f64) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.random::<f64>();
+    sigma * (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// The result of one simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Seed that produced the run.
+    pub seed: u64,
+    /// Mean number of neighbors in the sampled topology (density axis).
+    pub mean_degree: f64,
+    /// Aggregates over multicast + broadcast messages.
+    pub group_metrics: RunMetrics,
+    /// Aggregates over unicast messages.
+    pub unicast_metrics: RunMetrics,
+    /// Per-message records (population already cut to messages whose full
+    /// timeout window fit in the run).
+    pub messages: Vec<MessageMetric>,
+    /// Total collision events observed at receivers.
+    pub collisions: u64,
+    /// Frames transmitted during the run, by kind.
+    pub frames: FrameKindCounts,
+    /// Fraction of slots with at least one transmission on the air
+    /// somewhere in the network.
+    pub utilization: f64,
+}
+
+/// Executes one seeded run of `scenario` under `protocol`.
+pub fn run_one(scenario: &Scenario, protocol: ProtocolKind, seed: u64) -> RunResult {
+    let topo = uniform_square(scenario.n_nodes, scenario.radius, seed);
+    let mean_degree = topo.mean_degree();
+    let mut nodes = if scenario.position_noise > 0.0 {
+        // Stations advertise noisy GPS positions in their beacons; the
+        // channel keeps using the true geometry.
+        let mut noise_rng = SmallRng::seed_from_u64(seed ^ 0x006e_6f69_7365);
+        let advertised: Vec<Point> = topo
+            .positions()
+            .iter()
+            .map(|p| {
+                p.offset(
+                    gaussian(&mut noise_rng, scenario.position_noise),
+                    gaussian(&mut noise_rng, scenario.position_noise),
+                )
+            })
+            .collect();
+        MacNode::build_network_with_positions(
+            &topo,
+            Arc::new(advertised),
+            protocol,
+            scenario.timing,
+            seed,
+        )
+    } else {
+        MacNode::build_network(&topo, protocol, scenario.timing, seed)
+    };
+    let mut engine = Engine::new(topo.clone(), scenario.capture, seed.wrapping_add(0x5eed));
+    if scenario.fer > 0.0 {
+        engine.set_fer(scenario.fer);
+    }
+    let mut traffic = TrafficGen::new(scenario.msg_rate, scenario.mix, seed);
+    let mut arrivals = Vec::new();
+
+    for t in 0..scenario.sim_slots {
+        traffic.tick(engine.topology(), t, &mut arrivals);
+        for a in &arrivals {
+            nodes[a.node.index()].enqueue(a.kind, a.receivers.clone(), t);
+        }
+        engine.step(&mut nodes);
+    }
+    for node in &mut nodes {
+        node.drain_unfinished(scenario.sim_slots);
+    }
+
+    // Assemble ground-truth delivery per message. Only messages whose
+    // full timeout window fits inside the run are counted, so late
+    // arrivals don't read as spurious failures.
+    let cutoff = scenario.sim_slots.saturating_sub(scenario.timing.timeout);
+    let mut messages = Vec::new();
+    for node in &nodes {
+        for rec in node.records() {
+            if rec.arrival > cutoff {
+                continue;
+            }
+            let delivered = rec
+                .intended
+                .iter()
+                .filter(|r| nodes[r.index()].received().contains(&rec.msg))
+                .count();
+            messages.push(MessageMetric {
+                is_group: rec.is_group(),
+                intended: rec.intended.len(),
+                delivered,
+                completed: rec.outcome.is_completed(),
+                timed_out: matches!(rec.outcome, Outcome::TimedOut(_)),
+                contention_phases: rec.contention_phases,
+                completion_time: rec.completion_time(),
+                arrival: rec.arrival,
+            });
+        }
+    }
+    let group: Vec<MessageMetric> = messages.iter().filter(|m| m.is_group).cloned().collect();
+    let unicast: Vec<MessageMetric> = messages.iter().filter(|m| !m.is_group).cloned().collect();
+    let mut frames = FrameKindCounts::default();
+    for node in &nodes {
+        frames.add(&node.counters().sent_by_kind);
+    }
+    RunResult {
+        seed,
+        mean_degree,
+        group_metrics: RunMetrics::compute(&group, scenario.reliability_threshold),
+        unicast_metrics: RunMetrics::compute(&unicast, scenario.reliability_threshold),
+        messages,
+        collisions: engine.channel().collisions_total,
+        utilization: engine.channel().busy_slots as f64 / scenario.sim_slots as f64,
+        frames,
+    }
+}
+
+/// Executes one seeded run with random-waypoint mobility and periodic
+/// beaconing. Ground truth moves every `mobility.update_period` slots;
+/// stations refresh their neighbor tables and advertised positions only
+/// every `mobility.beacon_period` slots, so they act on *stale* beacon
+/// state in between — the realistic failure mode for neighbor-list-based
+/// multicast.
+pub fn run_mobile(
+    scenario: &Scenario,
+    protocol: ProtocolKind,
+    mobility: MobilityConfig,
+    seed: u64,
+) -> RunResult {
+    let initial = uniform_square(scenario.n_nodes, scenario.radius, seed);
+    let mut waypoint = RandomWaypoint::new(initial.positions().to_vec(), mobility, seed);
+    let mut true_topo = waypoint.topology(scenario.radius);
+    let mean_degree = true_topo.mean_degree();
+    let mut beacon_topo = true_topo.clone();
+    let advertised = Arc::new(beacon_topo.positions().to_vec());
+    let mut nodes = MacNode::build_network_with_positions(
+        &beacon_topo,
+        advertised,
+        protocol,
+        scenario.timing,
+        seed,
+    );
+    let mut engine = Engine::new(
+        true_topo.clone(),
+        scenario.capture,
+        seed.wrapping_add(0x5eed),
+    );
+    if scenario.fer > 0.0 {
+        engine.set_fer(scenario.fer);
+    }
+    let mut traffic = TrafficGen::new(scenario.msg_rate, scenario.mix, seed);
+    let mut arrivals = Vec::new();
+
+    for t in 0..scenario.sim_slots {
+        if t > 0 && t % mobility.update_period == 0 {
+            waypoint.step(mobility.update_period);
+            true_topo = waypoint.topology(scenario.radius);
+            engine.set_topology(true_topo.clone());
+        }
+        if t > 0 && t % mobility.beacon_period == 0 {
+            beacon_topo = true_topo.clone();
+            let advertised = Arc::new(beacon_topo.positions().to_vec());
+            for node in &mut nodes {
+                node.refresh_neighbors(&beacon_topo, Arc::clone(&advertised));
+            }
+        }
+        // Requests are addressed to the neighbors the sender *believes*
+        // it has — the beacon view, not the ground truth.
+        traffic.tick(&beacon_topo, t, &mut arrivals);
+        for a in &arrivals {
+            nodes[a.node.index()].enqueue(a.kind, a.receivers.clone(), t);
+        }
+        engine.step(&mut nodes);
+    }
+    for node in &mut nodes {
+        node.drain_unfinished(scenario.sim_slots);
+    }
+    let cutoff = scenario.sim_slots.saturating_sub(scenario.timing.timeout);
+    let mut messages = Vec::new();
+    for node in &nodes {
+        for rec in node.records() {
+            if rec.arrival > cutoff {
+                continue;
+            }
+            let delivered = rec
+                .intended
+                .iter()
+                .filter(|r| nodes[r.index()].received().contains(&rec.msg))
+                .count();
+            messages.push(MessageMetric {
+                is_group: rec.is_group(),
+                intended: rec.intended.len(),
+                delivered,
+                completed: rec.outcome.is_completed(),
+                timed_out: matches!(rec.outcome, Outcome::TimedOut(_)),
+                contention_phases: rec.contention_phases,
+                completion_time: rec.completion_time(),
+                arrival: rec.arrival,
+            });
+        }
+    }
+    let group: Vec<MessageMetric> = messages.iter().filter(|m| m.is_group).cloned().collect();
+    let unicast: Vec<MessageMetric> = messages.iter().filter(|m| !m.is_group).cloned().collect();
+    let mut frames = FrameKindCounts::default();
+    for node in &nodes {
+        frames.add(&node.counters().sent_by_kind);
+    }
+    RunResult {
+        seed,
+        mean_degree,
+        group_metrics: RunMetrics::compute(&group, scenario.reliability_threshold),
+        unicast_metrics: RunMetrics::compute(&unicast, scenario.reliability_threshold),
+        messages,
+        collisions: engine.channel().collisions_total,
+        utilization: engine.channel().busy_slots as f64 / scenario.sim_slots as f64,
+        frames,
+    }
+}
+
+/// Executes `scenario.n_runs` seeded runs in parallel (one OS thread per
+/// available core) and returns them ordered by seed.
+pub fn run_many(scenario: &Scenario, protocol: ProtocolKind) -> Vec<RunResult> {
+    run_many_seeded(scenario, protocol, 0)
+}
+
+/// [`run_many`] with a seed offset, for experiments that must not share
+/// topologies across sweep points.
+pub fn run_many_seeded(
+    scenario: &Scenario,
+    protocol: ProtocolKind,
+    seed_base: u64,
+) -> Vec<RunResult> {
+    let seeds: Vec<u64> = (0..scenario.n_runs as u64).map(|s| s + seed_base).collect();
+    let workers = std::thread::available_parallelism()
+        .map_or(4, |n| n.get())
+        .min(seeds.len().max(1));
+    let mut results: Vec<Option<RunResult>> = Vec::new();
+    results.resize_with(seeds.len(), || None);
+
+    std::thread::scope(|scope| {
+        let chunk = seeds.len().div_ceil(workers);
+        let mut rest: &mut [Option<RunResult>] = &mut results;
+        let mut offset = 0usize;
+        let mut handles = Vec::new();
+        while !rest.is_empty() {
+            let take = chunk.min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            rest = tail;
+            let seeds = &seeds[offset..offset + take];
+            offset += take;
+            handles.push(scope.spawn(move || {
+                for (slot, &seed) in head.iter_mut().zip(seeds) {
+                    *slot = Some(run_one(scenario, protocol, seed));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("runner worker panicked");
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("all seeds ran"))
+        .collect()
+}
+
+/// Means of the headline per-run metrics across `results` (delivery rate,
+/// contention phases, completion time), over group traffic.
+pub fn mean_group_metrics(results: &[RunResult]) -> RunMetrics {
+    let n = results.len().max(1) as f64;
+    RunMetrics {
+        messages: results.iter().map(|r| r.group_metrics.messages).sum(),
+        delivery_rate: results
+            .iter()
+            .map(|r| r.group_metrics.delivery_rate)
+            .sum::<f64>()
+            / n,
+        avg_contention_phases: results
+            .iter()
+            .map(|r| r.group_metrics.avg_contention_phases)
+            .sum::<f64>()
+            / n,
+        avg_completion_time: results
+            .iter()
+            .map(|r| r.group_metrics.avg_completion_time)
+            .sum::<f64>()
+            / n,
+        avg_delivered_frac: results
+            .iter()
+            .map(|r| r.group_metrics.avg_delivered_frac)
+            .sum::<f64>()
+            / n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Scenario {
+        Scenario {
+            n_nodes: 40,
+            sim_slots: 2_000,
+            n_runs: 3,
+            msg_rate: 1e-3,
+            ..Scenario::default()
+        }
+    }
+
+    #[test]
+    fn run_one_is_deterministic() {
+        let s = small();
+        let a = run_one(&s, ProtocolKind::Bmmm, 5);
+        let b = run_one(&s, ProtocolKind::Bmmm, 5);
+        assert_eq!(a.messages.len(), b.messages.len());
+        assert_eq!(a.collisions, b.collisions);
+        assert_eq!(a.group_metrics.delivery_rate, b.group_metrics.delivery_rate);
+    }
+
+    #[test]
+    fn different_seeds_give_different_runs() {
+        let s = small();
+        let a = run_one(&s, ProtocolKind::Bmmm, 5);
+        let b = run_one(&s, ProtocolKind::Bmmm, 6);
+        assert!(a.mean_degree != b.mean_degree || a.messages.len() != b.messages.len());
+    }
+
+    #[test]
+    fn run_many_matches_run_one() {
+        let s = small();
+        let many = run_many(&s, ProtocolKind::Ieee80211);
+        assert_eq!(many.len(), 3);
+        let lone = run_one(&s, ProtocolKind::Ieee80211, 1);
+        assert_eq!(many[1].messages.len(), lone.messages.len());
+        assert_eq!(
+            many[1].group_metrics.delivery_rate,
+            lone.group_metrics.delivery_rate
+        );
+        assert_eq!(many[1].seed, 1);
+    }
+
+    #[test]
+    fn traffic_actually_flows() {
+        let s = small();
+        let r = run_one(&s, ProtocolKind::Bmmm, 2);
+        assert!(
+            r.group_metrics.messages > 10,
+            "only {} messages",
+            r.group_metrics.messages
+        );
+        assert!(r.unicast_metrics.messages > 0);
+        assert!(r.group_metrics.delivery_rate > 0.0);
+    }
+
+    #[test]
+    fn mean_group_metrics_averages() {
+        let s = small();
+        let results = run_many(&s, ProtocolKind::Bmmm);
+        let mean = mean_group_metrics(&results);
+        let manual: f64 = results
+            .iter()
+            .map(|r| r.group_metrics.delivery_rate)
+            .sum::<f64>()
+            / results.len() as f64;
+        assert!((mean.delivery_rate - manual).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,136 @@
+//! Scenario configuration (the paper's Table 2, as a struct).
+
+use crate::traffic::TrafficMix;
+use rmm_mac::MacTiming;
+use rmm_sim::Capture;
+use serde::{Deserialize, Serialize};
+
+/// A complete simulation scenario. [`Scenario::default`] is the paper's
+/// Table 2 configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Number of stations (paper: 100).
+    pub n_nodes: usize,
+    /// Transmission radius in the unit square (paper: 0.2).
+    pub radius: f64,
+    /// Run length in slots (paper: 10 000).
+    pub sim_slots: u64,
+    /// Message generation rate per node per slot (paper: 5·10⁻⁴).
+    pub msg_rate: f64,
+    /// Unicast / multicast / broadcast mix (paper: 0.2 / 0.4 / 0.4).
+    pub mix: TrafficMix,
+    /// Reliability threshold for the success criterion (paper: 0.9).
+    pub reliability_threshold: f64,
+    /// Capture model (paper: DS capture per Zorzi–Rao).
+    pub capture: Capture,
+    /// Independent frame error rate (non-collision transmission errors;
+    /// folded into the analysis' `q`). Paper default: collisions only.
+    pub fer: f64,
+    /// Standard deviation of the Gaussian error applied to the positions
+    /// stations advertise in beacons (GPS inaccuracy). Only LAMM reads
+    /// positions; the channel always uses ground truth.
+    pub position_noise: f64,
+    /// MAC timing (includes the 100-slot timeout and 5-slot data time).
+    pub timing: MacTiming,
+    /// Number of independent runs to average (paper: 100).
+    pub n_runs: usize,
+}
+
+impl Default for Scenario {
+    fn default() -> Self {
+        Scenario {
+            n_nodes: 100,
+            radius: 0.2,
+            sim_slots: 10_000,
+            msg_rate: 5e-4,
+            mix: TrafficMix::default(),
+            reliability_threshold: 0.9,
+            capture: Capture::ZorziRao,
+            fer: 0.0,
+            position_noise: 0.0,
+            timing: MacTiming::default(),
+            n_runs: 100,
+        }
+    }
+}
+
+impl Scenario {
+    /// Scenario with a different timeout (Figure 7's sweep axis).
+    pub fn with_timeout(mut self, timeout: u64) -> Self {
+        self.timing.timeout = timeout;
+        self
+    }
+
+    /// Scenario with a different node count (density sweeps).
+    pub fn with_nodes(mut self, n: usize) -> Self {
+        self.n_nodes = n;
+        self
+    }
+
+    /// Scenario with a different message rate (load sweeps).
+    pub fn with_rate(mut self, rate: f64) -> Self {
+        self.msg_rate = rate;
+        self
+    }
+
+    /// Scenario with a different reliability threshold (Figure 8).
+    pub fn with_threshold(mut self, threshold: f64) -> Self {
+        self.reliability_threshold = threshold;
+        self
+    }
+
+    /// Scenario with a different frame error rate.
+    pub fn with_fer(mut self, fer: f64) -> Self {
+        self.fer = fer;
+        self
+    }
+
+    /// Scenario with Gaussian beacon-position noise (std deviation).
+    pub fn with_position_noise(mut self, sigma: f64) -> Self {
+        self.position_noise = sigma;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_table2() {
+        let s = Scenario::default();
+        assert_eq!(s.n_nodes, 100);
+        assert_eq!(s.radius, 0.2);
+        assert_eq!(s.sim_slots, 10_000);
+        assert_eq!(s.msg_rate, 5e-4);
+        assert_eq!(s.timing.timeout, 100);
+        assert_eq!(s.timing.data_slots, 5);
+        assert_eq!(s.reliability_threshold, 0.9);
+        assert_eq!(s.mix.unicast, 0.2);
+        assert_eq!(s.mix.multicast, 0.4);
+        assert_eq!(s.mix.broadcast, 0.4);
+        assert_eq!(s.n_runs, 100);
+        assert_eq!(s.capture, Capture::ZorziRao);
+    }
+
+    #[test]
+    fn builders_update_fields() {
+        let s = Scenario::default()
+            .with_timeout(300)
+            .with_nodes(150)
+            .with_rate(1e-3)
+            .with_threshold(0.5);
+        assert_eq!(s.timing.timeout, 300);
+        assert_eq!(s.n_nodes, 150);
+        assert_eq!(s.msg_rate, 1e-3);
+        assert_eq!(s.reliability_threshold, 0.5);
+    }
+
+    #[test]
+    fn scenario_serializes() {
+        let s = Scenario::default();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Scenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests for the workload layer: traffic generation,
+//! placement, mobility, and the runner's accounting.
+
+use proptest::prelude::*;
+use rmm_mac::{ProtocolKind, TrafficKind};
+use rmm_workload::{
+    run_one, uniform_square, MobilityConfig, RandomWaypoint, Scenario, TrafficGen, TrafficMix,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Generated receivers are always current neighbors, deduplicated,
+    /// and sized per traffic class.
+    #[test]
+    fn traffic_respects_topology(n in 10usize..60, rate in 0.001f64..0.05, seed in 0u64..1000) {
+        let topo = uniform_square(n, 0.2, seed);
+        let mut gen = TrafficGen::new(rate, TrafficMix::default(), seed);
+        let mut out = Vec::new();
+        for t in 0..200 {
+            gen.tick(&topo, t, &mut out);
+            for a in &out {
+                prop_assert!(!a.receivers.is_empty());
+                let neighbors = topo.neighbors(a.node);
+                for r in &a.receivers {
+                    prop_assert!(neighbors.contains(r));
+                }
+                let mut dedup = a.receivers.clone();
+                dedup.sort();
+                dedup.dedup();
+                prop_assert_eq!(dedup.len(), a.receivers.len());
+                match a.kind {
+                    TrafficKind::Unicast => prop_assert_eq!(a.receivers.len(), 1),
+                    TrafficKind::Broadcast => {
+                        prop_assert_eq!(a.receivers.len(), neighbors.len())
+                    }
+                    TrafficKind::Multicast => {
+                        prop_assert!(a.receivers.len() <= neighbors.len())
+                    }
+                }
+            }
+        }
+    }
+
+    /// Random-waypoint motion stays in the unit square and respects the
+    /// speed bound, for arbitrary speeds and step patterns.
+    #[test]
+    fn mobility_invariants(
+        vmax in 0.0f64..0.01,
+        steps in prop::collection::vec(1u64..500, 1..10),
+        seed in 0u64..1000,
+    ) {
+        let init = uniform_square(20, 0.2, seed).positions().to_vec();
+        let config = MobilityConfig { speed_min: 0.0, speed_max: vmax, ..Default::default() };
+        let mut model = RandomWaypoint::new(init.clone(), config, seed);
+        let mut elapsed = 0u64;
+        for &dt in &steps {
+            model.step(dt);
+            elapsed += dt;
+            for (i, p) in model.positions().iter().enumerate() {
+                prop_assert!((0.0..=1.0).contains(&p.x) && (0.0..=1.0).contains(&p.y));
+                prop_assert!(
+                    init[i].dist(p) <= vmax * elapsed as f64 + 1e-9,
+                    "node {i} outran its speed bound"
+                );
+            }
+        }
+    }
+
+    /// Runner accounting: the population cut keeps only messages whose
+    /// timeout window fits, metrics are in range, and frame totals are
+    /// consistent with the by-kind breakdown.
+    #[test]
+    fn runner_accounting(seed in 0u64..200) {
+        let s = Scenario {
+            n_nodes: 35,
+            sim_slots: 1_500,
+            msg_rate: 2e-3,
+            n_runs: 1,
+            ..Scenario::default()
+        };
+        let r = run_one(&s, ProtocolKind::Bmmm, seed);
+        let cutoff = s.sim_slots - s.timing.timeout;
+        for m in &r.messages {
+            prop_assert!(m.arrival <= cutoff);
+            prop_assert!(m.delivered <= m.intended);
+        }
+        prop_assert!((0.0..=1.0).contains(&r.group_metrics.delivery_rate));
+        prop_assert!((0.0..=1.0).contains(&r.utilization));
+        prop_assert_eq!(
+            r.frames.total(),
+            r.frames.control_total() + r.frames.data,
+        );
+        // Frames were actually sent if messages flowed.
+        if r.group_metrics.messages > 0 && r.group_metrics.delivery_rate > 0.0 {
+            prop_assert!(r.frames.data > 0);
+        }
+    }
+}

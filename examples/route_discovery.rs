@@ -1,0 +1,88 @@
+//! Route discovery over the multicast MAC — the workload the paper's
+//! introduction motivates (AODV/DSR route requests are MAC broadcasts).
+//!
+//! Floods an AODV-style RREQ across a 100-node network toward a target
+//! several hops away, with the paper's background traffic competing for
+//! the medium, once per MAC protocol. Plain 802.11 drops flood branches
+//! silently; the reliable protocols trade latency for reach.
+//!
+//! ```text
+//! cargo run --release --example route_discovery [-- <trials> <rate> <nodes>]
+//! ```
+
+use rmm::prelude::*;
+use rmm::route::{DiscoveryConfig, RouteSim};
+use rmm::stats::Table;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let trials: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(10);
+    let rate: f64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(1e-3);
+    let nodes: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(50);
+
+    let scenario = Scenario {
+        msg_rate: rate,
+        n_nodes: nodes,
+        ..Scenario::default()
+    };
+    println!(
+        "RREQ flooding: {} nodes, ≥3-hop targets, background rate {rate:.0e}, {trials} trials\n",
+        scenario.n_nodes
+    );
+
+    let mut table = Table::new([
+        "protocol",
+        "discovery rate",
+        "latency (slots)",
+        "rebroadcasts",
+        "coverage",
+    ]);
+    for protocol in [
+        ProtocolKind::Ieee80211,
+        ProtocolKind::Bsma,
+        ProtocolKind::Bmw,
+        ProtocolKind::Bmmm,
+        ProtocolKind::Lamm,
+    ] {
+        let mut reached = 0u64;
+        let mut latency_sum = 0.0;
+        let mut latency_n = 0u64;
+        let mut rebroadcasts = 0.0;
+        let mut coverage = 0.0;
+        for seed in 0..trials {
+            let mut sim = RouteSim::new(&scenario, protocol, seed);
+            let Some((origin, target)) = sim.pick_distant_pair(3) else {
+                continue;
+            };
+            let r = sim.discover(origin, target, DiscoveryConfig::default());
+            if r.reached {
+                reached += 1;
+                latency_sum += r.latency.unwrap() as f64;
+                latency_n += 1;
+            }
+            rebroadcasts += f64::from(r.rebroadcasts);
+            coverage += r.coverage as f64;
+        }
+        table.row([
+            protocol.name().to_string(),
+            format!("{:.2}", reached as f64 / trials as f64),
+            if latency_n > 0 {
+                format!("{:.0}", latency_sum / latency_n as f64)
+            } else {
+                "—".to_string()
+            },
+            format!("{:.1}", rebroadcasts / trials as f64),
+            format!("{:.1}", coverage / trials as f64),
+        ]);
+    }
+    print!("{}", table.render());
+    println!(
+        "\nTwo effects compete. Each hop is only as reliable as the MAC\n\
+         broadcast under it — lost branches silently amputate an 802.11\n\
+         flood — but dense networks give floods redundant paths, and the\n\
+         reliable protocols' per-hop control traffic feeds the broadcast\n\
+         storm (Ni et al., which the paper cites). Sparse networks (try\n\
+         40 nodes) are where reliable MAC broadcast earns its keep;\n\
+         BSMA's CTS pile-ups make it the worst of both worlds here."
+    );
+}

@@ -1,0 +1,106 @@
+//! Wire-format demo: encode one BMMM exchange into its actual IEEE
+//! 802.11 octets (including the paper's Figure-1 RAK frame) and dump it
+//! as hex — the "no new frame formats" co-existence claim, made visible.
+//!
+//! ```text
+//! cargo run --release --example wire_dump
+//! ```
+
+use rmm::prelude::*;
+use rmm::sim::{decode_frame, encode_frame, Dest};
+
+fn hex(octets: &[u8]) -> String {
+    octets
+        .iter()
+        .map(|b| format!("{b:02x}"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn show(label: &str, frame: &Frame) {
+    // FHSS slot = 50 µs; 200 payload octets per data slot.
+    let octets = encode_frame(frame, 50.0, 200);
+    println!("{label:<22} ({:>3} octets)", octets.len());
+    // Wrap the hex at 24 octets per line.
+    for chunk in octets.chunks(24) {
+        println!("    {}", hex(chunk));
+    }
+    let decoded = decode_frame(&octets).expect("round trip");
+    println!(
+        "    -> kind={:?} duration={}us ra={:?} ta={:?}\n",
+        decoded.kind,
+        decoded.duration_us,
+        decoded.ra.node(),
+        decoded.ta.and_then(|t| t.node()),
+    );
+}
+
+fn main() {
+    let timing = MacTiming::default();
+    let sender = NodeId(0);
+    let receivers = [NodeId(1), NodeId(2)];
+    let msg = MsgId::new(sender, 7);
+    let m = receivers.len();
+
+    println!("one BMMM batch to {m} receivers, as 802.11 octets:\n");
+    for (i, &r) in receivers.iter().enumerate() {
+        show(
+            &format!("RTS -> {r} (poll {})", i + 1),
+            &Frame::control(
+                FrameKind::Rts,
+                sender,
+                Dest::Node(r),
+                timing.bmmm_rts_duration(i, m),
+                msg,
+            ),
+        );
+        show(
+            &format!("CTS <- {r}"),
+            &Frame::control(
+                FrameKind::Cts,
+                r,
+                Dest::Node(sender),
+                timing.bmmm_rts_duration(i, m) - timing.control_slots,
+                msg,
+            ),
+        );
+    }
+    show(
+        "DATA -> group",
+        &Frame::data(
+            sender,
+            Dest::group(receivers.to_vec()),
+            timing.bmmm_data_duration(m),
+            msg,
+            timing.data_slots,
+        ),
+    );
+    for (i, &r) in receivers.iter().enumerate() {
+        show(
+            &format!("RAK -> {r}"),
+            &Frame::control(
+                FrameKind::Rak,
+                sender,
+                Dest::Node(r),
+                timing.bmmm_rak_duration(i, m),
+                msg,
+            ),
+        );
+        show(
+            &format!("ACK <- {r}"),
+            &Frame::control(
+                FrameKind::Ack,
+                r,
+                Dest::Node(sender),
+                timing.bmmm_rak_duration(i, m) - timing.control_slots,
+                msg,
+            ),
+        );
+    }
+    println!(
+        "RAK reuses the 14-octet ACK layout (frame control, Duration, RA,\n\
+         FCS) under a reserved control subtype — stock 802.11 stations parse\n\
+         it as an unknown control frame and simply honor its Duration field,\n\
+         which is exactly what co-existence requires."
+    );
+}

@@ -1,0 +1,169 @@
+//! Full-stack integration: the paper's qualitative results must hold on
+//! the real simulator with the Table 2 workload (scaled down for CI).
+
+use rmm::prelude::*;
+use rmm::workload::mean_group_metrics;
+
+fn scenario() -> Scenario {
+    Scenario {
+        n_nodes: 60,
+        sim_slots: 5_000,
+        n_runs: 4,
+        ..Scenario::default()
+    }
+}
+
+fn metrics(protocol: ProtocolKind) -> RunMetrics {
+    mean_group_metrics(&run_many(&scenario(), protocol))
+}
+
+#[test]
+fn delivery_rate_ranking_matches_paper() {
+    // Figure 6: LAMM ≥ BMMM >> BSMA, BMW.
+    let lamm = metrics(ProtocolKind::Lamm);
+    let bmmm = metrics(ProtocolKind::Bmmm);
+    let bsma = metrics(ProtocolKind::Bsma);
+    let bmw = metrics(ProtocolKind::Bmw);
+    assert!(
+        lamm.delivery_rate >= bmmm.delivery_rate - 0.02,
+        "LAMM {} < BMMM {}",
+        lamm.delivery_rate,
+        bmmm.delivery_rate
+    );
+    assert!(
+        bmmm.delivery_rate > bsma.delivery_rate + 0.05,
+        "BMMM {} !>> BSMA {}",
+        bmmm.delivery_rate,
+        bsma.delivery_rate
+    );
+    assert!(
+        bmmm.delivery_rate > bmw.delivery_rate + 0.05,
+        "BMMM {} !>> BMW {}",
+        bmmm.delivery_rate,
+        bmw.delivery_rate
+    );
+}
+
+#[test]
+fn contention_phase_ranking_matches_paper() {
+    // Figure 9: BMW needs by far the most contention phases; BMMM/LAMM
+    // need no more than BSMA.
+    let lamm = metrics(ProtocolKind::Lamm);
+    let bmmm = metrics(ProtocolKind::Bmmm);
+    let bsma = metrics(ProtocolKind::Bsma);
+    let bmw = metrics(ProtocolKind::Bmw);
+    assert!(bmw.avg_contention_phases > 2.0 * bmmm.avg_contention_phases);
+    assert!(bmw.avg_contention_phases > bsma.avg_contention_phases);
+    assert!(bmmm.avg_contention_phases <= bsma.avg_contention_phases + 0.1);
+    assert!(lamm.avg_contention_phases <= bsma.avg_contention_phases + 0.1);
+}
+
+#[test]
+fn completion_time_ranking_matches_paper() {
+    // Figure 10: LAMM completes faster than BMMM, which beats BMW.
+    let lamm = metrics(ProtocolKind::Lamm);
+    let bmmm = metrics(ProtocolKind::Bmmm);
+    let bmw = metrics(ProtocolKind::Bmw);
+    assert!(
+        lamm.avg_completion_time <= bmmm.avg_completion_time + 1.0,
+        "LAMM {} > BMMM {}",
+        lamm.avg_completion_time,
+        bmmm.avg_completion_time
+    );
+    assert!(
+        bmmm.avg_completion_time < bmw.avg_completion_time,
+        "BMMM {} !< BMW {}",
+        bmmm.avg_completion_time,
+        bmw.avg_completion_time
+    );
+}
+
+#[test]
+fn longer_timeout_improves_delivery() {
+    // Figure 7's monotone trend.
+    let short = mean_group_metrics(&run_many(&scenario().with_timeout(100), ProtocolKind::Bmmm));
+    let long = mean_group_metrics(&run_many(&scenario().with_timeout(300), ProtocolKind::Bmmm));
+    assert!(
+        long.delivery_rate > short.delivery_rate,
+        "300-slot timeout {} !> 100-slot {}",
+        long.delivery_rate,
+        short.delivery_rate
+    );
+}
+
+#[test]
+fn higher_threshold_reduces_delivery_rate_for_unreliable_protocols() {
+    // Figure 8: BSMA's apparent delivery rate decays as the bar rises;
+    // the scoring is monotone in the threshold for every protocol.
+    let results = run_many(&scenario(), ProtocolKind::Bsma);
+    let msgs: Vec<MessageMetric> = results
+        .iter()
+        .flat_map(|r| r.messages.iter().filter(|m| m.is_group).cloned())
+        .collect();
+    let mut prev = f64::INFINITY;
+    for t in [0.5, 0.7, 0.9, 1.0] {
+        let rate = RunMetrics::compute(&msgs, t).delivery_rate;
+        assert!(rate <= prev + 1e-12, "threshold {t}: {rate} > {prev}");
+        prev = rate;
+    }
+    // And the drop from 0.5 to 1.0 is real for BSMA (it completes while
+    // receivers are missing the data).
+    let lo = RunMetrics::compute(&msgs, 0.5).delivery_rate;
+    let hi = RunMetrics::compute(&msgs, 1.0).delivery_rate;
+    assert!(
+        lo > hi,
+        "BSMA should lose apparent reliability at threshold 1.0"
+    );
+}
+
+#[test]
+fn heavier_load_degrades_every_protocol() {
+    // Figures 6b/9b: more traffic, more collisions, lower delivery.
+    for protocol in [ProtocolKind::Bmmm, ProtocolKind::Bsma] {
+        let light = mean_group_metrics(&run_many(&scenario().with_rate(2e-4), protocol));
+        let heavy = mean_group_metrics(&run_many(&scenario().with_rate(2e-3), protocol));
+        assert!(
+            heavy.delivery_rate < light.delivery_rate,
+            "{protocol:?}: heavy {} !< light {}",
+            heavy.delivery_rate,
+            light.delivery_rate
+        );
+    }
+}
+
+#[test]
+fn unicast_metrics_are_protocol_independent_in_shape() {
+    // The unicast share always rides DCF; its delivery rate should be
+    // high and similar across protocol choices.
+    let a = mean_group_metrics(&run_many(&scenario(), ProtocolKind::Bmmm));
+    let _ = a; // group metrics sanity below uses unicast slice directly
+    for protocol in [ProtocolKind::Ieee80211, ProtocolKind::Bmmm] {
+        let results = run_many(&scenario(), protocol);
+        for r in &results {
+            assert!(
+                r.unicast_metrics.delivery_rate > 0.7,
+                "{protocol:?} seed {}: unicast delivery {}",
+                r.seed,
+                r.unicast_metrics.delivery_rate
+            );
+        }
+    }
+}
+
+#[test]
+fn run_results_are_internally_consistent() {
+    let results = run_many(&scenario(), ProtocolKind::Lamm);
+    for r in &results {
+        assert!((0.0..=1.0).contains(&r.group_metrics.delivery_rate));
+        assert!((0.0..=1.0).contains(&r.group_metrics.avg_delivered_frac));
+        assert!(r.group_metrics.avg_contention_phases >= 0.99);
+        for m in &r.messages {
+            assert!(m.delivered <= m.intended);
+            if let Some(ct) = m.completion_time {
+                assert!(ct <= 100, "completion {ct} beyond the timeout");
+                assert!(m.completed);
+            }
+            assert!(!(m.completed && m.timed_out));
+        }
+    }
+}
