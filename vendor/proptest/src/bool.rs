@@ -1,0 +1,20 @@
+//! Boolean strategies (`prop::bool::ANY`).
+
+use crate::strategy::Strategy;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// The strategy type of [`ANY`].
+#[derive(Debug, Clone, Copy)]
+pub struct BoolAny;
+
+/// A fair coin.
+pub const ANY: BoolAny = BoolAny;
+
+impl Strategy for BoolAny {
+    type Value = bool;
+
+    fn sample(&self, rng: &mut SmallRng) -> bool {
+        rng.random()
+    }
+}

@@ -1,0 +1,200 @@
+//! Offline vendored stand-in for the `proptest` crate.
+//!
+//! Implements the subset this workspace's property tests use: the
+//! [`proptest!`] macro, [`strategy::Strategy`] with ranges / tuples /
+//! [`strategy::Just`] / `prop_map` / [`prop_oneof!`], `any::<T>()`,
+//! `prop::collection::vec`, `prop::bool::ANY`, and the `prop_assert*`
+//! macros. Each test runs `ProptestConfig::cases` random cases from a
+//! generator seeded deterministically from the test's name, so runs are
+//! reproducible. Failing cases are reported with their case number but
+//! are **not shrunk** (real proptest minimizes counterexamples).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod bool;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-import surface, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// The `prop::` namespace (`prop::collection::vec`, `prop::bool::ANY`).
+    pub mod prop {
+        pub use crate::bool;
+        pub use crate::collection;
+    }
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from
+/// strategies. Supports an optional leading
+/// `#![proptest_config(ProptestConfig::with_cases(N))]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands one test fn at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strategy:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $config;
+            let mut __runner =
+                $crate::test_runner::TestRunner::new(stringify!($name), __config);
+            for __case in 0..__runner.cases() {
+                $(let $arg =
+                    $crate::strategy::Strategy::sample(&$strategy, __runner.rng());)*
+                let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(e) = __result {
+                    panic!(
+                        "proptest {} failed on case {}/{}: {}",
+                        stringify!($name),
+                        __case + 1,
+                        __runner.cases(),
+                        e
+                    );
+                }
+            }
+        }
+        $crate::__proptest_tests! { ($config) $($rest)* }
+    };
+}
+
+/// Strategy union: samples one of the listed strategies uniformly.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {{
+        let __union = $crate::strategy::Union::new();
+        $(let __union = __union.or($strategy);)+
+        __union
+    }};
+}
+
+/// Asserts inside a proptest body, failing the current case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{:?}` != `{:?}`", __l, __r
+        );
+    }};
+    ($left:expr, $right:expr,) => {
+        $crate::prop_assert_eq!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{:?}` != `{:?}`: {}", __l, __r, format!($($fmt)+)
+        );
+    }};
+}
+
+/// Asserts inequality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{:?}` == `{:?}`", __l, __r
+        );
+    }};
+    ($left:expr, $right:expr,) => {
+        $crate::prop_assert_ne!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{:?}` == `{:?}`: {}", __l, __r, format!($($fmt)+)
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn small() -> impl Strategy<Value = u32> {
+        prop_oneof![Just(1u32), Just(2u32), 10u32..20]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_tuples((a, b) in (0u32..10, 5u64..6), c in 0.0f64..1.0) {
+            prop_assert!(a < 10);
+            prop_assert_eq!(b, 5);
+            prop_assert!((0.0..1.0).contains(&c));
+        }
+
+        #[test]
+        fn oneof_and_map(x in small().prop_map(|v| v * 2), flag in prop::bool::ANY) {
+            prop_assert!(x == 2 || x == 4 || (20..40).contains(&x));
+            prop_assert_ne!(flag, !flag);
+        }
+
+        #[test]
+        fn vec_lengths(xs in prop::collection::vec(any::<u8>(), 3..6)) {
+            prop_assert!((3..6).contains(&xs.len()));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::test_runner::TestRunner::new(
+            "name",
+            ProptestConfig::default(),
+        );
+        let mut b = crate::test_runner::TestRunner::new(
+            "name",
+            ProptestConfig::default(),
+        );
+        let s = 0u64..1_000_000;
+        for _ in 0..32 {
+            assert_eq!(
+                Strategy::sample(&s, a.rng()),
+                Strategy::sample(&s, b.rng())
+            );
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! The per-test case runner and its configuration.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::fmt;
+
+/// How many random cases each property test runs.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of cases.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A failed property assertion.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    msg: String,
+}
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+/// Drives the cases of one property test with a generator seeded
+/// deterministically from the test's name, so failures reproduce.
+pub struct TestRunner {
+    rng: SmallRng,
+    cases: u32,
+}
+
+impl TestRunner {
+    /// Creates a runner for the named test.
+    pub fn new(name: &str, config: ProptestConfig) -> TestRunner {
+        // FNV-1a over the test name: stable across runs and platforms.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRunner {
+            rng: SmallRng::seed_from_u64(hash),
+            cases: config.cases,
+        }
+    }
+
+    /// Number of cases to run.
+    pub fn cases(&self) -> u32 {
+        self.cases
+    }
+
+    /// The runner's generator.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.rng
+    }
+}

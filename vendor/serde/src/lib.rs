@@ -1,0 +1,260 @@
+//! Offline vendored stand-in for the `serde` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a *value-based* replacement: instead of real serde's
+//! `Serializer`/`Deserializer` visitor machinery, [`Serialize`] converts
+//! a value into a JSON-shaped [`Value`] tree and [`Deserialize`] reads
+//! one back. The derive macros (`serde_derive`, re-exported behind the
+//! usual `derive` feature) generate impls of these traits with the same
+//! JSON data mapping real serde uses:
+//!
+//! * named struct → object, fields in declaration order,
+//! * newtype struct → the inner value,
+//! * tuple struct → array,
+//! * unit enum variant → `"VariantName"`,
+//! * data-carrying variant → `{"VariantName": <payload>}`.
+//!
+//! The vendored `serde_json` crate supplies the text format on top of
+//! this data model.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod value;
+
+pub use value::{Map, Number, Value};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::fmt;
+
+/// A (de)serialization error: a plain message.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Creates an error from any displayable message.
+    pub fn custom(msg: impl fmt::Display) -> Error {
+        Error {
+            msg: msg.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Conversion into the [`Value`] data model.
+pub trait Serialize {
+    /// Converts `self` into a [`Value`] tree.
+    fn serialize_value(&self) -> Value;
+}
+
+/// Conversion out of the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Reads `Self` back out of a [`Value`] tree.
+    fn deserialize_value(v: &Value) -> Result<Self, Error>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_value(v: &Value) -> Result<bool, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!("expected bool, got {other}"))),
+        }
+    }
+}
+
+macro_rules! serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::Number(Number::from_u64(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<$t, Error> {
+                let n = match v {
+                    Value::Number(n) => n
+                        .as_exact_u64()
+                        .ok_or_else(|| Error::custom(format!("expected unsigned integer, got {v}")))?,
+                    other => return Err(Error::custom(format!("expected integer, got {other}"))),
+                };
+                <$t>::try_from(n)
+                    .map_err(|_| Error::custom(format!("integer {n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! serde_sint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::Number(Number::from_i64(*self as i64))
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<$t, Error> {
+                let n = match v {
+                    Value::Number(n) => n
+                        .as_exact_i64()
+                        .ok_or_else(|| Error::custom(format!("expected integer, got {v}")))?,
+                    other => return Err(Error::custom(format!("expected integer, got {other}"))),
+                };
+                <$t>::try_from(n)
+                    .map_err(|_| Error::custom(format!("integer {n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+serde_sint!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize_value(&self) -> Value {
+        Value::Number(Number::F(*self))
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize_value(v: &Value) -> Result<f64, Error> {
+        match v {
+            Value::Number(n) => Ok(n.as_f64()),
+            other => Err(Error::custom(format!("expected number, got {other}"))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_value(&self) -> Value {
+        Value::Number(Number::F(f64::from(*self)))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize_value(v: &Value) -> Result<f32, Error> {
+        f64::deserialize_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_value(v: &Value) -> Result<String, Error> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!("expected string, got {other}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        self.as_slice().serialize_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(v: &Value) -> Result<Vec<T>, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::deserialize_value).collect(),
+            other => Err(Error::custom(format!("expected array, got {other}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.serialize_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(v: &Value) -> Result<Option<T>, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize_value(other).map(Some),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn serialize_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize_value(v: &Value) -> Result<Value, Error> {
+        Ok(v.clone())
+    }
+}
+
+/// Support code used by the generated derive impls. Not public API.
+#[doc(hidden)]
+pub mod __private {
+    use super::{Deserialize, Error, Map, Value};
+
+    /// Reads a struct field, treating a missing key as `null` (so
+    /// `Option` fields default to `None`, as in real serde).
+    pub fn field<T: Deserialize>(obj: &Map, name: &str) -> Result<T, Error> {
+        match obj.get(name) {
+            Some(v) => T::deserialize_value(v)
+                .map_err(|e| Error::custom(format!("field `{name}`: {e}"))),
+            None => T::deserialize_value(&Value::Null)
+                .map_err(|_| Error::custom(format!("missing field `{name}`"))),
+        }
+    }
+
+    /// Extracts the single `{"Variant": payload}` entry of an
+    /// externally-tagged enum object.
+    pub fn single_entry<'a>(obj: &'a Map, ty: &str) -> Result<(&'a str, &'a Value), Error> {
+        let mut it = obj.iter();
+        match (it.next(), it.next()) {
+            (Some((k, v)), None) => Ok((k.as_str(), v)),
+            _ => Err(Error::custom(format!(
+                "expected single-key variant object for {ty}"
+            ))),
+        }
+    }
+}

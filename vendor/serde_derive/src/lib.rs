@@ -1,0 +1,464 @@
+//! Offline vendored stand-in for `serde_derive`.
+//!
+//! Generates impls of the vendored `serde` crate's value-based
+//! `Serialize`/`Deserialize` traits. Because the environment has no
+//! `syn`/`quote`, the item is parsed by walking the raw `TokenStream`:
+//! all the generator needs are the type name, field names, and variant
+//! shapes — field *types* never have to be parsed, since the generated
+//! code lets inference pick the right `Deserialize` impl.
+//!
+//! Supported shapes (everything this workspace derives): non-generic
+//! named/tuple/unit structs and enums with unit, tuple, and struct
+//! variants. Attributes (doc comments, `#[default]`, …) are skipped;
+//! `#[serde(...)]` customization is not supported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write;
+
+struct Input {
+    name: String,
+    data: Data,
+}
+
+enum Data {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    gen_serialize(&input)
+        .parse()
+        .expect("serde_derive generated invalid Serialize impl")
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    gen_deserialize(&input)
+        .parse()
+        .expect("serde_derive generated invalid Deserialize impl")
+}
+
+fn is_ident(tok: Option<&TokenTree>, word: &str) -> bool {
+    matches!(tok, Some(TokenTree::Ident(id)) if id.to_string() == word)
+}
+
+fn is_punct(tok: Option<&TokenTree>, ch: char) -> bool {
+    matches!(tok, Some(TokenTree::Punct(p)) if p.as_char() == ch)
+}
+
+/// Skips `#[...]` attributes (doc comments arrive as these too).
+fn skip_attrs(toks: &[TokenTree], i: &mut usize) {
+    while is_punct(toks.get(*i), '#') {
+        *i += 2; // '#' then the bracketed group
+    }
+}
+
+/// Skips `pub` / `pub(crate)` style visibility.
+fn skip_vis(toks: &[TokenTree], i: &mut usize) {
+    if is_ident(toks.get(*i), "pub") {
+        *i += 1;
+        if matches!(toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+fn parse_input(ts: TokenStream) -> Input {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut i = 0;
+    let mut is_enum = false;
+    loop {
+        if is_ident(toks.get(i), "struct") {
+            break;
+        }
+        if is_ident(toks.get(i), "enum") {
+            is_enum = true;
+            break;
+        }
+        assert!(i < toks.len(), "serde_derive: no struct/enum keyword found");
+        if is_punct(toks.get(i), '#') {
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    i += 1;
+    let name = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {other}"),
+    };
+    i += 1;
+    assert!(
+        !is_punct(toks.get(i), '<'),
+        "serde_derive: generic types are not supported by the vendored derive"
+    );
+    let data = if is_enum {
+        match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: expected enum body, got {other:?}"),
+        }
+    } else {
+        match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Data::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Data::Unit,
+            other => panic!("serde_derive: expected struct body, got {other:?}"),
+        }
+    };
+    Input { name, data }
+}
+
+/// Field names of a `{ a: T, b: U }` body, skipping attributes,
+/// visibility, and the (never inspected) types.
+fn parse_named_fields(ts: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs(&toks, &mut i);
+        skip_vis(&toks, &mut i);
+        let Some(TokenTree::Ident(id)) = toks.get(i) else {
+            break;
+        };
+        fields.push(id.to_string());
+        i += 1;
+        assert!(
+            is_punct(toks.get(i), ':'),
+            "serde_derive: expected `:` after field name"
+        );
+        i += 1;
+        // Skip the type: everything until a comma outside angle brackets.
+        let mut depth = 0i32;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Arity of a `(T, U, ...)` body: comma-separated chunks outside angle
+/// brackets.
+fn count_tuple_fields(ts: TokenStream) -> usize {
+    let mut count = 0;
+    let mut chunk_has_tokens = false;
+    let mut depth = 0i32;
+    for tok in ts {
+        match &tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                if chunk_has_tokens {
+                    count += 1;
+                }
+                chunk_has_tokens = false;
+                continue;
+            }
+            _ => {}
+        }
+        chunk_has_tokens = true;
+    }
+    if chunk_has_tokens {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(ts: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs(&toks, &mut i);
+        let Some(TokenTree::Ident(id)) = toks.get(i) else {
+            break;
+        };
+        let name = id.to_string();
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        assert!(
+            !is_punct(toks.get(i), '='),
+            "serde_derive: explicit discriminants are not supported"
+        );
+        if is_punct(toks.get(i), ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let mut body = String::new();
+    match &input.data {
+        Data::Named(fields) => {
+            body.push_str("let mut __map = ::serde::Map::new();\n");
+            for f in fields {
+                writeln!(
+                    body,
+                    "__map.insert(\"{f}\", ::serde::Serialize::serialize_value(&self.{f}));"
+                )
+                .unwrap();
+            }
+            body.push_str("::serde::Value::Object(__map)");
+        }
+        Data::Tuple(1) => {
+            body.push_str("::serde::Serialize::serialize_value(&self.0)");
+        }
+        Data::Tuple(n) => {
+            body.push_str("::serde::Value::Array(vec![");
+            for idx in 0..*n {
+                write!(body, "::serde::Serialize::serialize_value(&self.{idx}),").unwrap();
+            }
+            body.push_str("])");
+        }
+        Data::Unit => body.push_str("::serde::Value::Null"),
+        Data::Enum(variants) => {
+            body.push_str("match self {\n");
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        writeln!(
+                            body,
+                            "{name}::{vname} => ::serde::Value::String(::std::string::String::from(\"{vname}\")),"
+                        )
+                        .unwrap();
+                    }
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::serialize_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::serialize_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(","))
+                        };
+                        writeln!(
+                            body,
+                            "{name}::{vname}({}) => {{\n\
+                             let mut __map = ::serde::Map::new();\n\
+                             __map.insert(\"{vname}\", {payload});\n\
+                             ::serde::Value::Object(__map)\n\
+                             }}",
+                            binds.join(",")
+                        )
+                        .unwrap();
+                    }
+                    VariantKind::Named(fields) => {
+                        let mut inner = String::new();
+                        for f in fields {
+                            writeln!(
+                                inner,
+                                "__inner.insert(\"{f}\", ::serde::Serialize::serialize_value({f}));"
+                            )
+                            .unwrap();
+                        }
+                        writeln!(
+                            body,
+                            "{name}::{vname} {{ {} }} => {{\n\
+                             let mut __inner = ::serde::Map::new();\n\
+                             {inner}\
+                             let mut __map = ::serde::Map::new();\n\
+                             __map.insert(\"{vname}\", ::serde::Value::Object(__inner));\n\
+                             ::serde::Value::Object(__map)\n\
+                             }}",
+                            fields.join(","),
+                        )
+                        .unwrap();
+                    }
+                }
+            }
+            body.push_str("}\n");
+        }
+    }
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(warnings, clippy::all)]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn serialize_value(&self) -> ::serde::Value {{\n\
+         {body}\n\
+         }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.data {
+        Data::Named(fields) => {
+            let mut b = format!(
+                "let __obj = __v.as_object().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected object for {name}\"))?;\n\
+                 ::core::result::Result::Ok({name} {{\n"
+            );
+            for f in fields {
+                writeln!(b, "{f}: ::serde::__private::field(__obj, \"{f}\")?,").unwrap();
+            }
+            b.push_str("})");
+            b
+        }
+        Data::Tuple(1) => {
+            format!(
+                "::core::result::Result::Ok({name}(::serde::Deserialize::deserialize_value(__v)?))"
+            )
+        }
+        Data::Tuple(n) => {
+            let mut b = format!(
+                "let __arr = __v.as_array().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected array for {name}\"))?;\n\
+                 if __arr.len() != {n} {{\n\
+                 return ::core::result::Result::Err(::serde::Error::custom(\
+                 \"wrong tuple length for {name}\"));\n\
+                 }}\n\
+                 ::core::result::Result::Ok({name}(",
+            );
+            for idx in 0..*n {
+                write!(
+                    b,
+                    "::serde::Deserialize::deserialize_value(&__arr[{idx}])?,"
+                )
+                .unwrap();
+            }
+            b.push_str("))");
+            b
+        }
+        Data::Unit => format!(
+            "if __v.is_null() {{ ::core::result::Result::Ok({name}) }} else {{ \
+             ::core::result::Result::Err(::serde::Error::custom(\"expected null for {name}\")) }}"
+        ),
+        Data::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        writeln!(
+                            unit_arms,
+                            "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}),"
+                        )
+                        .unwrap();
+                    }
+                    VariantKind::Tuple(1) => {
+                        writeln!(
+                            data_arms,
+                            "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}(\
+                             ::serde::Deserialize::deserialize_value(__inner)?)),"
+                        )
+                        .unwrap();
+                    }
+                    VariantKind::Tuple(n) => {
+                        let mut arm = format!(
+                            "\"{vname}\" => {{\n\
+                             let __arr = __inner.as_array().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected array payload for {name}::{vname}\"))?;\n\
+                             if __arr.len() != {n} {{\n\
+                             return ::core::result::Result::Err(::serde::Error::custom(\
+                             \"wrong payload length for {name}::{vname}\"));\n\
+                             }}\n\
+                             ::core::result::Result::Ok({name}::{vname}(",
+                        );
+                        for idx in 0..*n {
+                            write!(
+                                arm,
+                                "::serde::Deserialize::deserialize_value(&__arr[{idx}])?,"
+                            )
+                            .unwrap();
+                        }
+                        arm.push_str("))\n}\n");
+                        data_arms.push_str(&arm);
+                    }
+                    VariantKind::Named(fields) => {
+                        let mut arm = format!(
+                            "\"{vname}\" => {{\n\
+                             let __obj = __inner.as_object().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected object payload for {name}::{vname}\"))?;\n\
+                             ::core::result::Result::Ok({name}::{vname} {{\n",
+                        );
+                        for f in fields {
+                            writeln!(arm, "{f}: ::serde::__private::field(__obj, \"{f}\")?,")
+                                .unwrap();
+                        }
+                        arm.push_str("})\n}\n");
+                        data_arms.push_str(&arm);
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::String(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => ::core::result::Result::Err(::serde::Error::custom(\
+                 format!(\"unknown {name} variant `{{}}`\", __other))),\n\
+                 }},\n\
+                 ::serde::Value::Object(__m) => {{\n\
+                 let (__k, __inner) = ::serde::__private::single_entry(__m, \"{name}\")?;\n\
+                 match __k {{\n\
+                 {data_arms}\
+                 __other => ::core::result::Result::Err(::serde::Error::custom(\
+                 format!(\"unknown {name} variant `{{}}`\", __other))),\n\
+                 }}\n\
+                 }},\n\
+                 __other => ::core::result::Result::Err(::serde::Error::custom(\
+                 format!(\"expected {name}, got {{}}\", __other))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(warnings, clippy::all)]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize_value(__v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n\
+         }}\n\
+         }}"
+    )
+}

@@ -1,0 +1,142 @@
+//! Offline vendored stand-in for `serde_json`.
+//!
+//! Text format on top of the vendored `serde` crate's [`Value`] data
+//! model: a recursive-descent parser, compact and pretty writers, the
+//! [`json!`] construction macro, and the usual `to_string`/`from_str`
+//! entry points.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod de;
+
+pub use serde::{Error, Map, Number, Value};
+
+use serde::{Deserialize, Serialize};
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.serialize_value()
+}
+
+/// Serializes to compact JSON text.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.serialize_value().to_string())
+}
+
+/// Serializes to pretty JSON text (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.serialize_value().pretty())
+}
+
+/// Serializes to compact JSON bytes.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Parses JSON text into any deserializable type.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let value = de::parse(s)?;
+    T::deserialize_value(&value)
+}
+
+/// Parses JSON bytes into any deserializable type.
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error::custom(format!("invalid UTF-8: {e}")))?;
+    from_str(s)
+}
+
+/// Builds a [`Value`] from JSON-like syntax. Keys must be string
+/// literals; values may be nested `{...}` objects, `[...]` arrays of
+/// expressions, `null`, or any expression whose type is `Serialize`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $($crate::to_value(&$elem)),* ])
+    };
+    ({ $($entries:tt)* }) => {{
+        #[allow(unused_mut)]
+        let mut __object = $crate::Map::new();
+        $crate::json_object_entries!(__object; $($entries)*);
+        $crate::Value::Object(__object)
+    }};
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+/// Implementation detail of [`json!`]: munches `"key": value` pairs.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object_entries {
+    ($map:ident;) => {};
+    ($map:ident; $key:literal : null $(, $($rest:tt)*)?) => {
+        $map.insert($key, $crate::Value::Null);
+        $crate::json_object_entries!($map; $($($rest)*)?);
+    };
+    ($map:ident; $key:literal : { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $map.insert($key, $crate::json!({ $($inner)* }));
+        $crate::json_object_entries!($map; $($($rest)*)?);
+    };
+    ($map:ident; $key:literal : [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $map.insert($key, $crate::json!([ $($inner)* ]));
+        $crate::json_object_entries!($map; $($($rest)*)?);
+    };
+    ($map:ident; $key:literal : $value:expr $(, $($rest:tt)*)?) => {
+        $map.insert($key, $crate::to_value(&$value));
+        $crate::json_object_entries!($map; $($($rest)*)?);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_objects_nest() {
+        let runs = 7usize;
+        let v = json!({
+            "protocol": "BMMM",
+            "runs": runs,
+            "delivery_rate": { "mean": 0.95, "ci95": 0.01 },
+            "reliable": true,
+            "extra": null,
+        });
+        assert_eq!(v["protocol"], "BMMM");
+        assert_eq!(v["runs"].as_u64(), Some(7));
+        assert_eq!(v["delivery_rate"]["mean"].as_f64(), Some(0.95));
+        assert_eq!(v["reliable"].as_bool(), Some(true));
+        assert!(v["extra"].is_null());
+    }
+
+    #[test]
+    fn json_macro_handles_complex_expressions() {
+        let xs = [1.0f64, 2.0, 3.0];
+        let v = json!({
+            "mean": xs.iter().sum::<f64>() / xs.len() as f64,
+        });
+        assert_eq!(v["mean"].as_f64(), Some(2.0));
+    }
+
+    #[test]
+    fn value_roundtrip_through_text() {
+        let v = json!({
+            "a": [1, 2, 3],
+            "b": { "c": "x\"y", "d": -4 },
+            "e": 0.25,
+        });
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+        let pretty = to_string_pretty(&v).unwrap();
+        let back_pretty: Value = from_str(&pretty).unwrap();
+        assert_eq!(back_pretty, v);
+    }
+
+    #[test]
+    fn vec_of_values_serializes() {
+        let rows: Vec<Value> = vec![json!({"p": 1}), json!({"p": 2})];
+        let text = to_string_pretty(&rows).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back[1]["p"].as_u64(), Some(2));
+    }
+}
