@@ -3,17 +3,24 @@
 //! ```text
 //! rmm run     --protocol lamm [--config s.json] [--nodes N] [--slots N]
 //!             [--rate X] [--timeout N] [--runs N] [--seed N] [--json]
-//! rmm compare [--config s.json] [same overrides]
+//!             [--trace-out t.jsonl] [--metrics-out m.json]
+//! rmm compare [--config s.json] [same overrides] [--metrics-out m.json]
+//! rmm trace   --protocol bmmm [--seed N] [overrides]  # JSONL to stdout
 //! rmm config  # emit a default scenario JSON template to stdout
 //! ```
 //!
 //! Configs are the JSON serialization of
 //! [`rmm::workload::Scenario`]; command-line flags override
-//! individual fields after the file is loaded.
+//! individual fields after the file is loaded. `trace` (and `run` with
+//! `--trace-out`/`--metrics-out`) executes one *traced* run at the given
+//! seed and exports the protocol event log as JSON Lines plus a metrics
+//! registry derived from it.
 
 use rmm::mac::ProtocolKind;
 use rmm::stats::{Summary, Table};
-use rmm::workload::{mean_group_metrics, run_many, Scenario};
+use rmm::workload::{
+    collect_metrics, mean_group_metrics, run_many_seeded, run_one_traced, Scenario,
+};
 
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -24,15 +31,38 @@ pub enum Command {
         protocol: ProtocolKind,
         /// Scenario after config + overrides.
         scenario: Scenario,
+        /// Base seed for the run sweep (and the traced export run).
+        seed: u64,
         /// Emit machine-readable JSON instead of a table.
         json: bool,
+        /// Write a traced run's event log (JSON Lines) to this file.
+        trace_out: Option<String>,
+        /// Write a traced run's metrics registry (JSON) to this file.
+        metrics_out: Option<String>,
     },
     /// Run every protocol on the same scenario and print the comparison.
     Compare {
         /// Scenario after config + overrides.
         scenario: Scenario,
+        /// Base seed for the run sweeps.
+        seed: u64,
         /// Emit machine-readable JSON instead of a table.
         json: bool,
+        /// Write per-protocol traced-run metrics (JSON) to this file.
+        metrics_out: Option<String>,
+    },
+    /// Execute one traced run and export its event log.
+    Trace {
+        /// Protocol under test.
+        protocol: ProtocolKind,
+        /// Scenario after config + overrides.
+        scenario: Scenario,
+        /// Seed of the traced run.
+        seed: u64,
+        /// Event log destination (stdout when absent).
+        trace_out: Option<String>,
+        /// Metrics registry destination (not written when absent).
+        metrics_out: Option<String>,
     },
     /// Print the default scenario as a JSON template.
     Config,
@@ -49,7 +79,7 @@ pub enum CliError {
     BadValue(String),
     /// The config file could not be read or parsed.
     BadConfig(String),
-    /// `run` requires `--protocol`.
+    /// `run` and `trace` require `--protocol`.
     MissingProtocol,
 }
 
@@ -59,7 +89,7 @@ impl std::fmt::Display for CliError {
             CliError::Unknown(s) => write!(f, "unknown argument: {s}"),
             CliError::BadValue(s) => write!(f, "bad or missing value for {s}"),
             CliError::BadConfig(s) => write!(f, "config error: {s}"),
-            CliError::MissingProtocol => write!(f, "`run` requires --protocol <name>"),
+            CliError::MissingProtocol => write!(f, "`run` and `trace` require --protocol <name>"),
         }
     }
 }
@@ -89,10 +119,13 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
     match sub.as_str() {
         "config" => Ok(Command::Config),
         "help" | "--help" | "-h" => Ok(Command::Help),
-        "run" | "compare" => {
+        "run" | "compare" | "trace" => {
             let mut protocol = None;
             let mut scenario = Scenario::default();
+            let mut seed = 0u64;
             let mut json = false;
+            let mut trace_out = None;
+            let mut metrics_out = None;
             let rest: Vec<String> = args.collect();
             let mut i = 0;
             let value = |rest: &[String], i: usize, flag: &str| -> Result<String, CliError> {
@@ -144,21 +177,47 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
                         scenario.fer = parse_num(&rest, i, "--fer")?;
                         i += 2;
                     }
-                    "--json" => {
+                    "--seed" => {
+                        seed = parse_num(&rest, i, "--seed")?;
+                        i += 2;
+                    }
+                    "--trace-out" if sub != "compare" => {
+                        trace_out = Some(value(&rest, i, "--trace-out")?);
+                        i += 2;
+                    }
+                    "--metrics-out" => {
+                        metrics_out = Some(value(&rest, i, "--metrics-out")?);
+                        i += 2;
+                    }
+                    "--json" if sub != "trace" => {
                         json = true;
                         i += 1;
                     }
                     other => return Err(CliError::Unknown(other.to_string())),
                 }
             }
-            if sub == "run" {
-                Ok(Command::Run {
+            match sub.as_str() {
+                "run" => Ok(Command::Run {
                     protocol: protocol.ok_or(CliError::MissingProtocol)?,
                     scenario,
+                    seed,
                     json,
-                })
-            } else {
-                Ok(Command::Compare { scenario, json })
+                    trace_out,
+                    metrics_out,
+                }),
+                "trace" => Ok(Command::Trace {
+                    protocol: protocol.ok_or(CliError::MissingProtocol)?,
+                    scenario,
+                    seed,
+                    trace_out,
+                    metrics_out,
+                }),
+                _ => Ok(Command::Compare {
+                    scenario,
+                    seed,
+                    json,
+                    metrics_out,
+                }),
             }
         }
         other => Err(CliError::Unknown(other.to_string())),
@@ -172,8 +231,8 @@ fn parse_num<T: std::str::FromStr>(rest: &[String], i: usize, flag: &str) -> Res
 }
 
 /// Renders one protocol's results.
-pub fn render_run(protocol: ProtocolKind, scenario: &Scenario, json: bool) -> String {
-    let results = run_many(scenario, protocol);
+pub fn render_run(protocol: ProtocolKind, scenario: &Scenario, seed: u64, json: bool) -> String {
+    let results = run_many_seeded(scenario, protocol, seed);
     let m = mean_group_metrics(&results);
     let delivery: Vec<f64> = results
         .iter()
@@ -221,10 +280,10 @@ pub fn render_run(protocol: ProtocolKind, scenario: &Scenario, json: bool) -> St
 }
 
 /// Renders the all-protocol comparison.
-pub fn render_compare(scenario: &Scenario, json: bool) -> String {
+pub fn render_compare(scenario: &Scenario, seed: u64, json: bool) -> String {
     let mut rows = Vec::new();
     for protocol in ProtocolKind::ALL {
-        let results = run_many(scenario, protocol);
+        let results = run_many_seeded(scenario, protocol, seed);
         let m = mean_group_metrics(&results);
         rows.push((protocol, m));
     }
@@ -256,6 +315,59 @@ pub fn render_compare(scenario: &Scenario, json: bool) -> String {
     }
 }
 
+/// Artifacts from one traced run, ready to write out.
+#[derive(Debug, Clone)]
+pub struct TraceExport {
+    /// The event log, one JSON object per line.
+    pub jsonl: String,
+    /// Manifest + metrics registry derived from the trace, pretty JSON.
+    pub metrics_json: String,
+    /// One-line human summary for stderr.
+    pub summary: String,
+}
+
+/// Executes a single traced run and renders its export artifacts.
+pub fn export_trace(protocol: ProtocolKind, scenario: &Scenario, seed: u64) -> TraceExport {
+    let (result, trace) = run_one_traced(scenario, protocol, seed);
+    let metrics = collect_metrics(trace.events(), &result.messages);
+    let mut doc = serde_json::Map::new();
+    doc.insert("manifest", serde_json::to_value(&result.manifest));
+    doc.insert("metrics", serde_json::to_value(&metrics));
+    let summary = format!(
+        "{} seed {}: {} events, {} messages, {} batches in {} slots ({} us)",
+        protocol.name(),
+        seed,
+        trace.events().len(),
+        result.messages.len(),
+        metrics.counter("batches"),
+        scenario.sim_slots,
+        result.manifest.wall_clock.total_us(),
+    );
+    TraceExport {
+        jsonl: trace.to_jsonl(),
+        metrics_json: serde_json::Value::Object(doc).pretty(),
+        summary,
+    }
+}
+
+/// Traced-run metrics for every protocol on one scenario, as a pretty
+/// JSON array of `{protocol, metrics}` objects (for `compare
+/// --metrics-out`).
+pub fn compare_metrics_json(scenario: &Scenario, seed: u64) -> String {
+    let rows: Vec<serde_json::Value> = ProtocolKind::ALL
+        .into_iter()
+        .map(|p| {
+            let (result, trace) = run_one_traced(scenario, p, seed);
+            let metrics = collect_metrics(trace.events(), &result.messages);
+            serde_json::json!({
+                "protocol": p.name(),
+                "metrics": serde_json::to_value(&metrics),
+            })
+        })
+        .collect();
+    serde_json::Value::Array(rows).pretty()
+}
+
 /// The default scenario as a pretty JSON template.
 pub fn config_template() -> String {
     serde_json::to_string_pretty(&Scenario::default()).expect("scenario serializes")
@@ -268,12 +380,16 @@ rmm — reliable 802.11 multicast MAC simulator (BMMM / LAMM, ICPP 2002)
 usage:
   rmm run --protocol <802.11|tg|bsma|bmw|bmmm|lamm|leader> [options]
   rmm compare [options]
+  rmm trace --protocol <name> [options]   # one traced run, JSONL events
   rmm config              # print a scenario JSON template
 
 options:
   --config <file.json>    load a Scenario (JSON); flags below override it
   --nodes N  --slots N  --rate X  --timeout N  --runs N
-  --threshold X  --fer X  --json
+  --threshold X  --fer X  --seed N  --json
+  --trace-out <file>      write the traced run's events as JSON Lines
+                          (run/trace; trace prints to stdout by default)
+  --metrics-out <file>    write trace-derived counters/histograms as JSON
 ";
 
 #[cfg(test)]
@@ -296,31 +412,80 @@ mod tests {
     #[test]
     fn parse_run_with_overrides() {
         let cmd = parse_args(args(
-            "run --protocol lamm --nodes 50 --slots 2000 --runs 3 --json",
+            "run --protocol lamm --nodes 50 --slots 2000 --runs 3 --seed 42 --json",
         ))
         .unwrap();
         match cmd {
             Command::Run {
                 protocol,
                 scenario,
+                seed,
                 json,
+                trace_out,
+                metrics_out,
             } => {
                 assert_eq!(protocol, ProtocolKind::Lamm);
                 assert_eq!(scenario.n_nodes, 50);
                 assert_eq!(scenario.sim_slots, 2000);
                 assert_eq!(scenario.n_runs, 3);
+                assert_eq!(seed, 42);
                 assert!(json);
+                assert_eq!(trace_out, None);
+                assert_eq!(metrics_out, None);
             }
             other => panic!("{other:?}"),
         }
     }
 
     #[test]
-    fn run_requires_protocol() {
+    fn parse_trace_with_exports() {
+        let cmd = parse_args(args(
+            "trace --protocol bmmm --seed 7 --trace-out t.jsonl --metrics-out m.json",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Trace {
+                protocol,
+                seed,
+                trace_out,
+                metrics_out,
+                ..
+            } => {
+                assert_eq!(protocol, ProtocolKind::Bmmm);
+                assert_eq!(seed, 7);
+                assert_eq!(trace_out.as_deref(), Some("t.jsonl"));
+                assert_eq!(metrics_out.as_deref(), Some("m.json"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_and_trace_require_protocol() {
         assert_eq!(
             parse_args(args("run --nodes 50")),
             Err(CliError::MissingProtocol)
         );
+        assert_eq!(
+            parse_args(args("trace --seed 3")),
+            Err(CliError::MissingProtocol)
+        );
+    }
+
+    #[test]
+    fn compare_rejects_trace_out_and_trace_rejects_json() {
+        assert_eq!(
+            parse_args(args("compare --trace-out t.jsonl")),
+            Err(CliError::Unknown("--trace-out".into()))
+        );
+        assert_eq!(
+            parse_args(args("trace --protocol bmmm --json")),
+            Err(CliError::Unknown("--json".into()))
+        );
+        assert!(matches!(
+            parse_args(args("compare --seed 5 --metrics-out m.json")),
+            Ok(Command::Compare { seed: 5, .. })
+        ));
     }
 
     #[test]
@@ -383,13 +548,31 @@ mod tests {
             n_runs: 1,
             ..Scenario::default()
         };
-        let text = render_run(ProtocolKind::Bmmm, &scenario, false);
+        let text = render_run(ProtocolKind::Bmmm, &scenario, 0, false);
         assert!(text.contains("delivery rate"));
         assert!(text.contains("BMMM"));
-        let json = render_run(ProtocolKind::Bmmm, &scenario, true);
+        let json = render_run(ProtocolKind::Bmmm, &scenario, 0, true);
         let v: serde_json::Value = serde_json::from_str(&json).unwrap();
         assert_eq!(v["protocol"], "BMMM");
         assert!(v["delivery_rate"]["mean"].as_f64().unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn export_trace_produces_parseable_artifacts() {
+        let scenario = Scenario {
+            n_nodes: 25,
+            sim_slots: 1_200,
+            n_runs: 1,
+            ..Scenario::default()
+        };
+        let export = export_trace(ProtocolKind::Bmmm, &scenario, 5);
+        let trace = rmm::sim::Trace::from_jsonl(&export.jsonl).unwrap();
+        assert!(!trace.events().is_empty());
+        let v: serde_json::Value = serde_json::from_str(&export.metrics_json).unwrap();
+        assert_eq!(v["manifest"]["seed"].as_u64(), Some(5));
+        assert_eq!(v["manifest"]["traced"].as_bool(), Some(true));
+        assert!(!v["metrics"]["counters"].is_null());
+        assert!(export.summary.contains("BMMM seed 5"));
     }
 
     #[test]

@@ -1,6 +1,15 @@
 //! The `rmm` binary. See [`rmm_cli`] for the command grammar.
 
-use rmm_cli::{parse_args, render_compare, render_run, Command, USAGE};
+use rmm_cli::{
+    compare_metrics_json, export_trace, parse_args, render_compare, render_run, Command, USAGE,
+};
+
+fn write_file(path: &str, contents: &str) {
+    if let Err(e) = std::fs::write(path, contents) {
+        eprintln!("error: cannot write {path}: {e}");
+        std::process::exit(2);
+    }
+}
 
 fn main() {
     let cmd = match parse_args(std::env::args().skip(1)) {
@@ -16,18 +25,56 @@ fn main() {
         Command::Run {
             protocol,
             scenario,
+            seed,
             json,
+            trace_out,
+            metrics_out,
         } => {
-            print!("{}", render_run(protocol, &scenario, json));
+            print!("{}", render_run(protocol, &scenario, seed, json));
             if !json {
                 println!();
+            }
+            if trace_out.is_some() || metrics_out.is_some() {
+                let export = export_trace(protocol, &scenario, seed);
+                if let Some(path) = trace_out.as_deref() {
+                    write_file(path, &export.jsonl);
+                }
+                if let Some(path) = metrics_out.as_deref() {
+                    write_file(path, &export.metrics_json);
+                }
+                eprintln!("{}", export.summary);
             }
         }
-        Command::Compare { scenario, json } => {
-            print!("{}", render_compare(&scenario, json));
+        Command::Compare {
+            scenario,
+            seed,
+            json,
+            metrics_out,
+        } => {
+            print!("{}", render_compare(&scenario, seed, json));
             if !json {
                 println!();
             }
+            if let Some(path) = metrics_out.as_deref() {
+                write_file(path, &compare_metrics_json(&scenario, seed));
+            }
+        }
+        Command::Trace {
+            protocol,
+            scenario,
+            seed,
+            trace_out,
+            metrics_out,
+        } => {
+            let export = export_trace(protocol, &scenario, seed);
+            match trace_out.as_deref() {
+                Some(path) => write_file(path, &export.jsonl),
+                None => print!("{}", export.jsonl),
+            }
+            if let Some(path) = metrics_out.as_deref() {
+                write_file(path, &export.metrics_json);
+            }
+            eprintln!("{}", export.summary);
         }
     }
 }

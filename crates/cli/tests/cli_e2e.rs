@@ -64,6 +64,82 @@ fn help_prints_usage() {
 }
 
 #[test]
+fn trace_streams_jsonl_and_writes_metrics() {
+    let dir = std::env::temp_dir().join("rmm_cli_e2e_trace");
+    std::fs::create_dir_all(&dir).unwrap();
+    let metrics_path = dir.join("m.json");
+    let out = rmm()
+        .args([
+            "trace",
+            "--protocol",
+            "bmmm",
+            "--nodes",
+            "30",
+            "--slots",
+            "1500",
+            "--seed",
+            "11",
+            "--metrics-out",
+            metrics_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // stdout is the JSONL event log; it parses back into a trace.
+    let trace = rmm::sim::Trace::from_jsonl(&String::from_utf8_lossy(&out.stdout))
+        .expect("stdout is valid JSONL");
+    assert!(!trace.events().is_empty());
+    // stderr carries the one-line human summary.
+    assert!(String::from_utf8_lossy(&out.stderr).contains("BMMM seed 11"));
+    // The metrics file embeds the run manifest for provenance.
+    let metrics: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&metrics_path).unwrap()).unwrap();
+    assert_eq!(metrics["manifest"]["seed"].as_u64(), Some(11));
+    assert_eq!(metrics["manifest"]["protocol"], "Bmmm");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn run_with_trace_out_writes_event_log() {
+    let dir = std::env::temp_dir().join("rmm_cli_e2e_run_trace");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace_path = dir.join("t.jsonl");
+    let out = rmm()
+        .args([
+            "run",
+            "--protocol",
+            "lamm",
+            "--nodes",
+            "25",
+            "--slots",
+            "1200",
+            "--runs",
+            "1",
+            "--json",
+            "--trace-out",
+            trace_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // stdout stays the normal run report.
+    let v: serde_json::Value = serde_json::from_slice(&out.stdout).unwrap();
+    assert_eq!(v["protocol"], "LAMM");
+    let trace = rmm::sim::Trace::from_jsonl(&std::fs::read_to_string(&trace_path).unwrap())
+        .expect("trace file is valid JSONL");
+    assert!(!trace.events().is_empty());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn config_file_roundtrip_through_binary() {
     let dir = std::env::temp_dir().join("rmm_cli_e2e");
     std::fs::create_dir_all(&dir).unwrap();

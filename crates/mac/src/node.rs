@@ -11,7 +11,9 @@ use crate::timing::MacTiming;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use rmm_geom::Point;
-use rmm_sim::{Ctx, Dest, Frame, FrameInfo, FrameKind, MsgId, NodeId, Slot, Station, Topology};
+use rmm_sim::{
+    Ctx, Dest, Frame, FrameInfo, FrameKind, MsgId, NodeId, Slot, Station, Topology, TraceEvent,
+};
 use std::collections::{HashSet, VecDeque};
 use std::sync::Arc;
 
@@ -274,8 +276,9 @@ impl MacNode {
 
     /// Pops the next serviceable request (recording stale ones as timed
     /// out without service) and begins its first contention phase.
-    fn start_next(&mut self, now: Slot) {
+    fn start_next(&mut self, ctx: &mut Ctx<'_>) {
         debug_assert!(self.active.is_none());
+        let now = ctx.now;
         while let Some(req) = self.queue.pop_front() {
             if req.timed_out(now, self.core.timing.timeout) {
                 self.core.records.push(SentRecord {
@@ -298,6 +301,14 @@ impl MacNode {
             let mut contention = Contention::idle();
             contention.begin(cw, &mut self.core.rng);
             self.core.counters.contention_phases += 1;
+            let (node, msg, backoff_slots) = (self.core.id, req.msg, contention.backoff());
+            ctx.emit(|| TraceEvent::ContentionStart {
+                slot: now,
+                node,
+                msg,
+                attempts: 1,
+                backoff_slots,
+            });
             self.active = Some(Active {
                 req,
                 started: now,
@@ -351,6 +362,23 @@ impl MacNode {
                 active.contending = true;
                 active.phases += 1;
                 self.core.counters.contention_phases += 1;
+                let (now, node, msg) = (ctx.now, self.core.id, active.req.msg);
+                let (attempts, backoff_slots) = (active.phases, active.contention.backoff());
+                if !reset_cw {
+                    ctx.emit(|| TraceEvent::Retry {
+                        slot: now,
+                        node,
+                        msg,
+                        round: attempts,
+                    });
+                }
+                ctx.emit(|| TraceEvent::ContentionStart {
+                    slot: now,
+                    node,
+                    msg,
+                    attempts,
+                    backoff_slots,
+                });
                 self.active = Some(active);
             }
             Flow::Complete => self.finish(active, Outcome::Completed(ctx.now)),
@@ -383,6 +411,26 @@ impl MacNode {
             info,
         };
         self.core.transmit(ctx, frame);
+    }
+
+    /// Books the overheard Duration field in the NAV (virtual carrier
+    /// sense) and traces the deferral when it actually extends anything.
+    fn nav_reserve(&mut self, ctx: &mut Ctx<'_>, frame: &Frame) {
+        if !self.core.timing.nav_enabled {
+            return;
+        }
+        let now = ctx.now;
+        self.core.nav.reserve(now, frame.duration, frame.msg);
+        if frame.duration > 0 {
+            let (node, msg) = (self.core.id, frame.msg);
+            let until = now + Slot::from(frame.duration);
+            ctx.emit(|| TraceEvent::NavDefer {
+                slot: now,
+                node,
+                msg,
+                until,
+            });
+        }
     }
 
     /// BSMA receiver rule 2: NAK the sender when the promised data never
@@ -427,9 +475,7 @@ impl MacNode {
                         self.drive_fsm(ctx, |fsm, env| fsm.on_frame(frame, env));
                     }
                 } else {
-                    if self.core.timing.nav_enabled {
-                        self.core.nav.reserve(now, frame.duration, frame.msg);
-                    }
+                    self.nav_reserve(ctx, frame);
                 }
             }
             FrameKind::Data => {
@@ -486,8 +532,8 @@ impl MacNode {
                             FrameInfo::None,
                         );
                     }
-                } else if !addressed && self.core.timing.nav_enabled {
-                    self.core.nav.reserve(now, frame.duration, frame.msg);
+                } else if !addressed {
+                    self.nav_reserve(ctx, frame);
                 }
             }
             FrameKind::Rts => {
@@ -568,9 +614,7 @@ impl MacNode {
                         }
                     }
                 } else {
-                    if self.core.timing.nav_enabled {
-                        self.core.nav.reserve(now, frame.duration, frame.msg);
-                    }
+                    self.nav_reserve(ctx, frame);
                 }
             }
             FrameKind::Rak => {
@@ -591,9 +635,7 @@ impl MacNode {
                         );
                     }
                 } else {
-                    if self.core.timing.nav_enabled {
-                        self.core.nav.reserve(now, frame.duration, frame.msg);
-                    }
+                    self.nav_reserve(ctx, frame);
                 }
             }
         }
@@ -604,7 +646,7 @@ impl MacNode {
         self.flush_wait_data(ctx);
 
         if self.active.is_none() {
-            self.start_next(now);
+            self.start_next(ctx);
         }
 
         // Service timeout (measured from arrival).
@@ -615,7 +657,7 @@ impl MacNode {
         {
             let active = self.active.take().expect("checked above");
             self.finish(active, Outcome::TimedOut(now));
-            self.start_next(now);
+            self.start_next(ctx);
         }
 
         let mode = match &mut self.active {
@@ -623,6 +665,13 @@ impl MacNode {
                 let busy = ctx.busy || self.core.nav.yielding(now) || self.core.tx_until > now;
                 if a.contention.poll(busy, self.core.timing.difs) {
                     a.contending = false;
+                    let (node, msg, attempts) = (self.core.id, a.req.msg, a.phases);
+                    ctx.emit(|| TraceEvent::ContentionEnd {
+                        slot: now,
+                        node,
+                        msg,
+                        attempts,
+                    });
                     DriveMode::Access
                 } else {
                     DriveMode::None

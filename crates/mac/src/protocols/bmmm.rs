@@ -16,7 +16,7 @@
 
 use super::{Env, Flow};
 use rmm_geom::{min_cover_set, update_uncovered};
-use rmm_sim::{Dest, Frame, FrameKind, NodeId, Slot};
+use rmm_sim::{Dest, Frame, FrameKind, NodeId, Slot, TraceEvent};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Phase {
@@ -43,6 +43,8 @@ pub struct BmmmFsm {
     s_remaining: Vec<NodeId>,
     /// The receivers polled this batch (`S` for BMMM, `MCS(S)` for LAMM).
     batch: Vec<NodeId>,
+    /// 1-based batch (round) number, counting every `Batch_Mode_Procedure`.
+    round: u32,
     phase: Phase,
     at: Slot,
     cts_any: bool,
@@ -61,6 +63,7 @@ impl BmmmFsm {
             location_aware,
             s_remaining: receivers,
             batch: Vec::new(),
+            round: 0,
             phase: Phase::Idle,
             at: 0,
             cts_any: false,
@@ -106,8 +109,26 @@ impl BmmmFsm {
         }
         self.batch = self.compute_batch(env);
         debug_assert!(!self.batch.is_empty());
+        self.round += 1;
         self.cts_any = false;
         self.batch_acked.clear();
+        let (slot, node, msg, round) = (env.now(), env.core.id, env.req.msg, self.round);
+        if self.location_aware {
+            env.emit(|| TraceEvent::CoverSetComputed {
+                slot,
+                node,
+                msg,
+                full: self.s_remaining.clone(),
+                cover: self.batch.clone(),
+            });
+        }
+        env.emit(|| TraceEvent::BatchStart {
+            slot,
+            node,
+            msg,
+            round,
+            batch: self.batch.clone(),
+        });
         self.send_rts(0, env);
         Flow::Continue
     }
@@ -115,6 +136,14 @@ impl BmmmFsm {
     fn send_rts(&mut self, i: usize, env: &mut Env<'_, '_>) {
         let t = env.timing();
         let dur = t.bmmm_rts_duration(i, self.batch.len());
+        let (slot, node, msg, target) = (env.now(), env.core.id, env.req.msg, self.batch[i]);
+        env.emit(|| TraceEvent::PollSent {
+            slot,
+            node,
+            msg,
+            kind: FrameKind::Rts,
+            target,
+        });
         env.send_control(FrameKind::Rts, Dest::Node(self.batch[i]), dur);
         self.phase = Phase::AwaitCts { i };
         self.at = env.response_deadline(t.control_slots);
@@ -123,13 +152,36 @@ impl BmmmFsm {
     fn send_rak(&mut self, i: usize, env: &mut Env<'_, '_>) {
         let t = env.timing();
         let dur = t.bmmm_rak_duration(i, self.batch.len());
+        let (slot, node, msg, target) = (env.now(), env.core.id, env.req.msg, self.batch[i]);
+        env.emit(|| TraceEvent::PollSent {
+            slot,
+            node,
+            msg,
+            kind: FrameKind::Rak,
+            target,
+        });
         env.send_control(FrameKind::Rak, Dest::Node(self.batch[i]), dur);
         self.phase = Phase::AwaitAck { i };
         self.at = env.response_deadline(t.control_slots);
     }
 
+    /// Traces the close of the RAK/ACK train. Called before the batch
+    /// state is folded into `S`.
+    fn emit_batch_end(&self, env: &mut Env<'_, '_>) {
+        let (slot, node, msg, round) = (env.now(), env.core.id, env.req.msg, self.round);
+        env.emit(|| TraceEvent::BatchEnd {
+            slot,
+            node,
+            msg,
+            round,
+            batch: self.batch.clone(),
+            acked: self.batch_acked.clone(),
+        });
+    }
+
     /// Batch over: fold `S_ACK` into `S` and decide what happens next.
-    fn finish_batch(&mut self) -> Flow {
+    fn finish_batch(&mut self, env: &mut Env<'_, '_>) -> Flow {
+        self.emit_batch_end(env);
         self.phase = Phase::Idle;
         self.all_acked.extend(self.batch_acked.iter().copied());
         self.s_remaining = self.next_remaining();
@@ -157,7 +209,8 @@ impl BmmmFsm {
         }
     }
 
-    fn finish_batch_geo(&mut self, env: &Env<'_, '_>) -> Flow {
+    fn finish_batch_geo(&mut self, env: &mut Env<'_, '_>) -> Flow {
+        self.emit_batch_end(env);
         self.phase = Phase::Idle;
         self.all_acked.extend(self.batch_acked.iter().copied());
         let indices: Vec<usize> = self.s_remaining.iter().map(|n| n.index()).collect();
@@ -214,13 +267,23 @@ impl BmmmFsm {
                 Flow::Continue
             }
             Phase::AwaitAck { i } => {
+                if !self.batch_acked.contains(&self.batch[i]) {
+                    let (slot, node, msg) = (env.now(), env.core.id, env.req.msg);
+                    let target = self.batch[i];
+                    env.emit(|| TraceEvent::AckMissed {
+                        slot,
+                        node,
+                        msg,
+                        target,
+                    });
+                }
                 if i + 1 < m {
                     self.send_rak(i + 1, env);
                     Flow::Continue
                 } else if self.location_aware {
                     self.finish_batch_geo(env)
                 } else {
-                    self.finish_batch()
+                    self.finish_batch(env)
                 }
             }
             Phase::Idle => Flow::Continue,

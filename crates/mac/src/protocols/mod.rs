@@ -24,7 +24,7 @@ pub mod tang_gerla;
 use crate::node::NodeCore;
 use crate::request::Request;
 use crate::timing::MacTiming;
-use rmm_sim::{Ctx, Dest, Frame, FrameInfo, FrameKind, NodeId, Slot};
+use rmm_sim::{Ctx, Dest, Frame, FrameInfo, FrameKind, NodeId, Slot, TraceEvent};
 use serde::{Deserialize, Serialize};
 
 pub use bmmm::BmmmFsm;
@@ -196,6 +196,13 @@ impl Env<'_, '_> {
     /// `sent_slots` sent *now* will have been delivered.
     pub fn response_deadline(&self, sent_slots: u32) -> Slot {
         self.ctx.now + self.core.timing.response_delivered_after(sent_slots)
+    }
+
+    /// Emits a protocol-phase trace event; a no-op branch unless the
+    /// engine is tracing (the closure never runs then).
+    #[inline]
+    pub fn emit<F: FnOnce() -> TraceEvent>(&mut self, f: F) {
+        self.ctx.emit(f);
     }
 }
 

@@ -18,7 +18,7 @@ use crate::channel::Channel;
 use crate::frame::Frame;
 use crate::ids::{NodeId, Slot};
 use crate::topology::Topology;
-use crate::trace::{Trace, TraceEvent};
+use crate::trace::{EventSink, Trace, TraceEvent};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -32,6 +32,7 @@ pub struct Ctx<'a> {
     /// previous slot?
     pub busy: bool,
     out: &'a mut Vec<Frame>,
+    sink: Option<&'a mut dyn EventSink>,
 }
 
 impl Ctx<'_> {
@@ -40,6 +41,20 @@ impl Ctx<'_> {
     pub fn send(&mut self, frame: Frame) {
         debug_assert_eq!(frame.src, self.node, "stations may only send as themselves");
         self.out.push(frame);
+    }
+
+    /// Whether protocol events are being collected this run.
+    pub fn tracing(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Emits a protocol-phase event. The construction closure only runs
+    /// when tracing is enabled, so emission costs one branch otherwise.
+    #[inline]
+    pub fn emit<F: FnOnce() -> TraceEvent>(&mut self, f: F) {
+        if let Some(sink) = self.sink.as_mut() {
+            sink.accept(f());
+        }
     }
 }
 
@@ -93,6 +108,11 @@ impl Engine {
     /// The trace, if tracing was enabled.
     pub fn trace(&self) -> Option<&Trace> {
         self.trace.as_ref()
+    }
+
+    /// Takes ownership of the trace, leaving tracing disabled.
+    pub fn take_trace(&mut self) -> Option<Trace> {
+        self.trace.take()
     }
 
     /// Current slot (the next one to be stepped).
@@ -155,6 +175,7 @@ impl Engine {
                 node,
                 busy,
                 out: &mut self.outbox,
+                sink: self.trace.as_mut().map(|t| t as &mut dyn EventSink),
             };
             stations[node.index()].on_receive(&rec.frame, rec.captured, &mut ctx);
         }
@@ -168,6 +189,7 @@ impl Engine {
                 node,
                 busy,
                 out: &mut self.outbox,
+                sink: self.trace.as_mut().map(|t| t as &mut dyn EventSink),
             };
             station.on_slot(&mut ctx);
         }

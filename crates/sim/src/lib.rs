@@ -38,7 +38,7 @@ pub use engine::{Ctx, Engine, Station};
 pub use frame::{Dest, Frame, FrameInfo, FrameKind};
 pub use ids::{MsgId, NodeId, Slot};
 pub use topology::Topology;
-pub use trace::{airtime_by_kind, max_idle_gap, tx_intervals_of, Trace, TraceEvent};
+pub use trace::{airtime_by_kind, max_idle_gap, tx_intervals_of, EventSink, Trace, TraceEvent};
 pub use wire::{
     crc32, decode as decode_frame, encode as encode_frame, MacAddr, WireError, WireFrame,
 };

@@ -1,10 +1,18 @@
-//! Event tracing, used for the Figure-2-style timelines and debugging.
+//! Event tracing: physical channel events plus MAC protocol-phase
+//! events, used for the Figure-2-style timelines, trace export (JSONL)
+//! and trace-derived metrics.
 
 use crate::frame::{Dest, Frame, FrameKind};
 use crate::ids::{MsgId, NodeId, Slot};
+use serde::{Deserialize, Serialize};
 
 /// A recorded simulator event.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// The first three variants are emitted by the engine itself (physical
+/// channel activity); the rest are protocol-phase events emitted by the
+/// MAC layer through [`Ctx::emit`](crate::engine::Ctx::emit) and only
+/// exist when tracing is enabled.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum TraceEvent {
     /// A station put a frame on the air.
     TxStart {
@@ -43,6 +51,118 @@ pub enum TraceEvent {
         /// Senders involved.
         senders: Vec<NodeId>,
     },
+    /// A sender entered a contention phase (drew a backoff).
+    ContentionStart {
+        /// Slot of the draw.
+        slot: Slot,
+        /// Contending station.
+        node: NodeId,
+        /// Message being served.
+        msg: MsgId,
+        /// 1-based contention attempt number for this message.
+        attempts: u32,
+        /// Backoff slots drawn from the contention window.
+        backoff_slots: u32,
+    },
+    /// A sender won its contention phase and may transmit this slot.
+    ContentionEnd {
+        /// Slot of the access grant.
+        slot: Slot,
+        /// Station that won access.
+        node: NodeId,
+        /// Message being served.
+        msg: MsgId,
+        /// Contention attempts spent on the message so far.
+        attempts: u32,
+    },
+    /// A BMMM/LAMM batch began (the `Batch_Mode_Procedure` entry).
+    BatchStart {
+        /// Slot of the first RTS.
+        slot: Slot,
+        /// Batch sender.
+        node: NodeId,
+        /// Message being served.
+        msg: MsgId,
+        /// 1-based batch (round) number for this message.
+        round: u32,
+        /// Receivers polled this batch (`S` for BMMM, `MCS(S)` for LAMM).
+        batch: Vec<NodeId>,
+    },
+    /// A BMMM/LAMM batch ran to the end of its RAK/ACK train.
+    BatchEnd {
+        /// Slot at which the last ACK window closed.
+        slot: Slot,
+        /// Batch sender.
+        node: NodeId,
+        /// Message being served.
+        msg: MsgId,
+        /// 1-based batch (round) number for this message.
+        round: u32,
+        /// Receivers polled this batch.
+        batch: Vec<NodeId>,
+        /// Receivers that ACKed this batch (`S_ACK`).
+        acked: Vec<NodeId>,
+    },
+    /// A serialized poll frame (RTS or RAK) went to one batch receiver.
+    PollSent {
+        /// Slot of the poll.
+        slot: Slot,
+        /// Polling sender.
+        node: NodeId,
+        /// Message being served.
+        msg: MsgId,
+        /// `Rts` (CTS poll) or `Rak` (ACK poll).
+        kind: FrameKind,
+        /// Polled receiver.
+        target: NodeId,
+    },
+    /// A polled receiver's ACK window closed without an ACK.
+    AckMissed {
+        /// Slot at which the window closed.
+        slot: Slot,
+        /// Polling sender.
+        node: NodeId,
+        /// Message being served.
+        msg: MsgId,
+        /// Receiver that did not ACK.
+        target: NodeId,
+    },
+    /// LAMM computed the minimum cover set for a batch (Theorem 3).
+    CoverSetComputed {
+        /// Slot of the computation.
+        slot: Slot,
+        /// Batch sender.
+        node: NodeId,
+        /// Message being served.
+        msg: MsgId,
+        /// Receivers still requiring service (`S`).
+        full: Vec<NodeId>,
+        /// The chosen cover set (`MCS(S)`), a subset of `full`.
+        cover: Vec<NodeId>,
+    },
+    /// A sender re-entered contention after a failed attempt (binary
+    /// exponential backoff, as opposed to a fresh round's reset window).
+    Retry {
+        /// Slot of the retry decision.
+        slot: Slot,
+        /// Retrying station.
+        node: NodeId,
+        /// Message being retried.
+        msg: MsgId,
+        /// The upcoming contention attempt number.
+        round: u32,
+    },
+    /// A station set its NAV from an overheard Duration field.
+    NavDefer {
+        /// Slot the reserving frame ended.
+        slot: Slot,
+        /// Deferring station.
+        node: NodeId,
+        /// Message the reservation belongs to.
+        msg: MsgId,
+        /// First slot at which this reservation lapses.
+        until: Slot,
+    },
 }
 
 impl TraceEvent {
@@ -51,8 +171,54 @@ impl TraceEvent {
         match self {
             TraceEvent::TxStart { slot, .. }
             | TraceEvent::RxOk { slot, .. }
-            | TraceEvent::Collision { slot, .. } => *slot,
+            | TraceEvent::Collision { slot, .. }
+            | TraceEvent::ContentionStart { slot, .. }
+            | TraceEvent::ContentionEnd { slot, .. }
+            | TraceEvent::BatchStart { slot, .. }
+            | TraceEvent::BatchEnd { slot, .. }
+            | TraceEvent::PollSent { slot, .. }
+            | TraceEvent::AckMissed { slot, .. }
+            | TraceEvent::CoverSetComputed { slot, .. }
+            | TraceEvent::Retry { slot, .. }
+            | TraceEvent::NavDefer { slot, .. } => *slot,
         }
+    }
+
+    /// The message the event concerns, when it concerns exactly one.
+    pub fn msg(&self) -> Option<MsgId> {
+        match self {
+            TraceEvent::TxStart { msg, .. }
+            | TraceEvent::ContentionStart { msg, .. }
+            | TraceEvent::ContentionEnd { msg, .. }
+            | TraceEvent::BatchStart { msg, .. }
+            | TraceEvent::BatchEnd { msg, .. }
+            | TraceEvent::PollSent { msg, .. }
+            | TraceEvent::AckMissed { msg, .. }
+            | TraceEvent::CoverSetComputed { msg, .. }
+            | TraceEvent::Retry { msg, .. }
+            | TraceEvent::NavDefer { msg, .. } => Some(*msg),
+            TraceEvent::RxOk { .. } | TraceEvent::Collision { .. } => None,
+        }
+    }
+}
+
+/// A consumer of trace events. The engine hands MAC entities a sink
+/// (via [`Ctx::emit`](crate::engine::Ctx::emit)) only while tracing is
+/// enabled, so emission is a no-op branch otherwise.
+pub trait EventSink {
+    /// Consumes one event.
+    fn accept(&mut self, ev: TraceEvent);
+}
+
+impl EventSink for Trace {
+    fn accept(&mut self, ev: TraceEvent) {
+        self.push(ev);
+    }
+}
+
+impl EventSink for Vec<TraceEvent> {
+    fn accept(&mut self, ev: TraceEvent) {
+        self.push(ev);
     }
 }
 
@@ -94,30 +260,90 @@ impl Trace {
         });
     }
 
-    /// Renders the transmissions of the trace as a compact per-slot
-    /// timeline string: one line per transmission, Figure-2 style.
+    /// Renders the channel activity of the trace as a compact per-slot
+    /// timeline string, Figure-2 style: one line per transmission,
+    /// decode, or collision. Protocol-phase events are omitted.
     pub fn render_timeline(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
         for ev in &self.events {
-            if let TraceEvent::TxStart {
-                slot,
-                node,
-                kind,
-                dest,
-                slots,
-                ..
-            } = ev
-            {
-                let dest = dest.map(|d| d.to_string()).unwrap_or_else(|| "grp".into());
-                let _ = writeln!(
-                    out,
-                    "slot {slot:>5}  {node:>4} -> {dest:<4}  {kind:?} ({slots} slot{})",
-                    if *slots == 1 { "" } else { "s" }
-                );
+            match ev {
+                TraceEvent::TxStart {
+                    slot,
+                    node,
+                    kind,
+                    dest,
+                    slots,
+                    ..
+                } => {
+                    let dest = dest.map(|d| d.to_string()).unwrap_or_else(|| "grp".into());
+                    let _ = writeln!(
+                        out,
+                        "slot {slot:>5}  {node:>4} -> {dest:<4}  {kind:?} ({slots} slot{})",
+                        if *slots == 1 { "" } else { "s" }
+                    );
+                }
+                TraceEvent::RxOk {
+                    slot,
+                    node,
+                    from,
+                    kind,
+                    captured,
+                } => {
+                    let _ = writeln!(
+                        out,
+                        "slot {slot:>5}  {node:>4} <- {from:<4}  {kind:?} rx{}",
+                        if *captured { " (captured)" } else { "" }
+                    );
+                }
+                TraceEvent::Collision {
+                    slot,
+                    node,
+                    senders,
+                } => {
+                    let senders = senders
+                        .iter()
+                        .map(|s| s.to_string())
+                        .collect::<Vec<_>>()
+                        .join(",");
+                    let _ = writeln!(out, "slot {slot:>5}  ** collision at {node} [{senders}]");
+                }
+                _ => {}
             }
         }
         out
+    }
+
+    /// Serializes the trace as JSON Lines: one event object per line.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for ev in &self.events {
+            out.push_str(&serde_json::to_value(ev).to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Streams the trace as JSON Lines into `w`.
+    pub fn write_jsonl<W: std::io::Write>(&self, mut w: W) -> std::io::Result<()> {
+        for ev in &self.events {
+            writeln!(w, "{}", serde_json::to_value(ev))?;
+        }
+        Ok(())
+    }
+
+    /// Parses a JSON Lines trace produced by [`Trace::to_jsonl`] /
+    /// [`Trace::write_jsonl`]. Blank lines are skipped.
+    pub fn from_jsonl(text: &str) -> Result<Trace, serde::Error> {
+        let mut events = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            events.push(serde_json::from_str(line)?);
+        }
+        Ok(Trace { events })
     }
 }
 
@@ -303,5 +529,137 @@ mod tests {
         assert!(line.contains("Data"));
         assert!(line.contains("grp"));
         assert!(line.contains("5 slots"));
+    }
+
+    #[test]
+    fn timeline_renders_collisions_and_decodes() {
+        let mut tr = Trace::new();
+        tr.push(TraceEvent::RxOk {
+            slot: 4,
+            node: NodeId(3),
+            from: NodeId(2),
+            kind: FrameKind::Cts,
+            captured: true,
+        });
+        tr.push(TraceEvent::Collision {
+            slot: 7,
+            node: NodeId(3),
+            senders: vec![NodeId(1), NodeId(2)],
+        });
+        // A protocol-phase event must not add a timeline line.
+        tr.push(TraceEvent::NavDefer {
+            slot: 8,
+            node: NodeId(4),
+            msg: MsgId::new(NodeId(2), 0),
+            until: 12,
+        });
+        let rendered = tr.render_timeline();
+        let lines: Vec<&str> = rendered.lines().map(str::trim_end).collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("n3 <- n2"));
+        assert!(lines[0].contains("Cts rx (captured)"));
+        assert_eq!(lines[1], "slot     7  ** collision at n3 [n1,n2]");
+    }
+
+    #[test]
+    fn jsonl_round_trips_every_event_kind() {
+        let msg = MsgId::new(NodeId(0), 7);
+        let mut tr = Trace::new();
+        for ev in [
+            TraceEvent::TxStart {
+                slot: 0,
+                node: NodeId(0),
+                kind: FrameKind::Rts,
+                dest: Some(NodeId(1)),
+                msg,
+                slots: 1,
+            },
+            TraceEvent::RxOk {
+                slot: 1,
+                node: NodeId(1),
+                from: NodeId(0),
+                kind: FrameKind::Rts,
+                captured: false,
+            },
+            TraceEvent::Collision {
+                slot: 2,
+                node: NodeId(2),
+                senders: vec![NodeId(0), NodeId(3)],
+            },
+            TraceEvent::ContentionStart {
+                slot: 3,
+                node: NodeId(0),
+                msg,
+                attempts: 1,
+                backoff_slots: 4,
+            },
+            TraceEvent::ContentionEnd {
+                slot: 7,
+                node: NodeId(0),
+                msg,
+                attempts: 1,
+            },
+            TraceEvent::BatchStart {
+                slot: 7,
+                node: NodeId(0),
+                msg,
+                round: 1,
+                batch: vec![NodeId(1), NodeId(2)],
+            },
+            TraceEvent::PollSent {
+                slot: 7,
+                node: NodeId(0),
+                msg,
+                kind: FrameKind::Rak,
+                target: NodeId(1),
+            },
+            TraceEvent::AckMissed {
+                slot: 9,
+                node: NodeId(0),
+                msg,
+                target: NodeId(2),
+            },
+            TraceEvent::BatchEnd {
+                slot: 9,
+                node: NodeId(0),
+                msg,
+                round: 1,
+                batch: vec![NodeId(1), NodeId(2)],
+                acked: vec![NodeId(1)],
+            },
+            TraceEvent::CoverSetComputed {
+                slot: 10,
+                node: NodeId(0),
+                msg,
+                full: vec![NodeId(1), NodeId(2)],
+                cover: vec![NodeId(1)],
+            },
+            TraceEvent::Retry {
+                slot: 11,
+                node: NodeId(0),
+                msg,
+                round: 2,
+            },
+            TraceEvent::NavDefer {
+                slot: 11,
+                node: NodeId(4),
+                msg,
+                until: 20,
+            },
+        ] {
+            tr.push(ev);
+        }
+        let jsonl = tr.to_jsonl();
+        assert_eq!(jsonl.lines().count(), tr.events().len());
+        let parsed = Trace::from_jsonl(&jsonl).expect("parses back");
+        assert_eq!(parsed.events(), tr.events());
+        // write_jsonl produces the same bytes as to_jsonl.
+        let mut buf = Vec::new();
+        tr.write_jsonl(&mut buf).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), jsonl);
+        // Blank lines are tolerated; garbage is not.
+        let padded = format!("\n{jsonl}\n\n");
+        assert_eq!(Trace::from_jsonl(&padded).unwrap().events(), tr.events());
+        assert!(Trace::from_jsonl("not json\n").is_err());
     }
 }

@@ -18,10 +18,12 @@
 
 pub mod hist;
 pub mod metrics;
+pub mod registry;
 pub mod summary;
 pub mod table;
 
 pub use hist::{percentile, Histogram};
 pub use metrics::{MessageMetric, RunMetrics};
+pub use registry::{MetricsRegistry, NamedCounter, NamedHistogram};
 pub use summary::Summary;
 pub use table::{write_csv, Table};

@@ -1,0 +1,169 @@
+//! A small metrics registry: named monotonic counters and named
+//! fixed-bucket histograms, serializable for export alongside a trace.
+//!
+//! Stored as sorted vectors of named entries rather than maps so the
+//! JSON layout is stable and the derive-based serde stack applies.
+
+use crate::hist::Histogram;
+use serde::{Deserialize, Serialize};
+
+/// A named monotonic counter.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NamedCounter {
+    /// Metric name (e.g. `tx_frames`).
+    pub name: String,
+    /// Current value.
+    pub value: u64,
+}
+
+/// A named histogram.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NamedHistogram {
+    /// Metric name (e.g. `batch_len`).
+    pub name: String,
+    /// The distribution.
+    pub histogram: Histogram,
+}
+
+/// A collection of named counters and histograms for one run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MetricsRegistry {
+    counters: Vec<NamedCounter>,
+    histograms: Vec<NamedHistogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Adds `delta` to the counter `name`, creating it at zero first if
+    /// needed.
+    pub fn add(&mut self, name: &str, delta: u64) {
+        match self
+            .counters
+            .binary_search_by(|c| c.name.as_str().cmp(name))
+        {
+            Ok(i) => self.counters[i].value += delta,
+            Err(i) => self.counters.insert(
+                i,
+                NamedCounter {
+                    name: name.to_string(),
+                    value: delta,
+                },
+            ),
+        }
+    }
+
+    /// Increments the counter `name` by one.
+    pub fn inc(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// The value of counter `name` (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .binary_search_by(|c| c.name.as_str().cmp(name))
+            .map(|i| self.counters[i].value)
+            .unwrap_or(0)
+    }
+
+    /// All counters, sorted by name.
+    pub fn counters(&self) -> &[NamedCounter] {
+        &self.counters
+    }
+
+    /// The histogram `name`, creating it with the given shape on first
+    /// use. The shape of an existing histogram is kept as-is.
+    pub fn histogram_mut(&mut self, name: &str, lo: f64, hi: f64, bins: usize) -> &mut Histogram {
+        let i = match self
+            .histograms
+            .binary_search_by(|h| h.name.as_str().cmp(name))
+        {
+            Ok(i) => i,
+            Err(i) => {
+                self.histograms.insert(
+                    i,
+                    NamedHistogram {
+                        name: name.to_string(),
+                        histogram: Histogram::new(lo, hi, bins),
+                    },
+                );
+                i
+            }
+        };
+        &mut self.histograms[i].histogram
+    }
+
+    /// The histogram `name`, if recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms
+            .binary_search_by(|h| h.name.as_str().cmp(name))
+            .ok()
+            .map(|i| &self.histograms[i].histogram)
+    }
+
+    /// All histograms, sorted by name.
+    pub fn histograms(&self) -> &[NamedHistogram] {
+        &self.histograms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_sort() {
+        let mut reg = MetricsRegistry::new();
+        reg.inc("zeta");
+        reg.add("alpha", 3);
+        reg.inc("zeta");
+        assert_eq!(reg.counter("zeta"), 2);
+        assert_eq!(reg.counter("alpha"), 3);
+        assert_eq!(reg.counter("missing"), 0);
+        let names: Vec<&str> = reg.counters().iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["alpha", "zeta"]);
+    }
+
+    #[test]
+    fn histograms_create_on_first_use_and_keep_shape() {
+        let mut reg = MetricsRegistry::new();
+        reg.histogram_mut("h", 0.0, 10.0, 10).record(5.0);
+        // Second call with a different shape must not reset the data.
+        reg.histogram_mut("h", 0.0, 99.0, 3).record(7.0);
+        let h = reg.histogram("h").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.bins().len(), 10);
+        assert!(reg.histogram("other").is_none());
+    }
+
+    #[test]
+    fn empty_registry_reports_empty() {
+        let mut reg = MetricsRegistry::new();
+        assert!(reg.is_empty());
+        reg.inc("x");
+        assert!(!reg.is_empty());
+    }
+
+    #[test]
+    fn registry_round_trips_through_json() {
+        let mut reg = MetricsRegistry::new();
+        reg.add("frames", 42);
+        reg.histogram_mut("gaps", 0.0, 8.0, 8).record(3.0);
+        let json = serde_json::to_string(&reg).unwrap();
+        let back: MetricsRegistry = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.counter("frames"), 42);
+        assert_eq!(back.histogram("gaps").unwrap().count(), 1);
+        assert_eq!(
+            back.histogram("gaps").unwrap().bins(),
+            [0, 0, 0, 1, 0, 0, 0, 0]
+        );
+    }
+}

@@ -20,13 +20,17 @@
 #![forbid(unsafe_code)]
 
 pub mod mobility;
+pub mod observe;
 pub mod placement;
 pub mod runner;
 pub mod scenario;
 pub mod traffic;
 
 pub use mobility::{MobilityConfig, RandomWaypoint};
+pub use observe::{collect_metrics, PhaseTimings, RunManifest};
 pub use placement::uniform_square;
-pub use runner::{mean_group_metrics, run_many, run_many_seeded, run_mobile, run_one, RunResult};
+pub use runner::{
+    mean_group_metrics, run_many, run_many_seeded, run_mobile, run_one, run_one_traced, RunResult,
+};
 pub use scenario::Scenario;
 pub use traffic::{TrafficGen, TrafficMix};

@@ -1,0 +1,226 @@
+//! Run observability: provenance manifests, per-phase wall-clock
+//! timings, and metrics derived from a protocol event trace.
+
+use crate::scenario::Scenario;
+use rmm_mac::ProtocolKind;
+use rmm_sim::{FrameKind, Slot, TraceEvent};
+use rmm_stats::MetricsRegistry;
+use serde::{Deserialize, Serialize};
+
+/// Wall-clock spent in each phase of one run, in microseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PhaseTimings {
+    /// Topology sampling, station construction, engine setup.
+    pub setup_us: u64,
+    /// The slot loop (including traffic generation).
+    pub simulate_us: u64,
+    /// Record draining and metric assembly.
+    pub collect_us: u64,
+}
+
+impl PhaseTimings {
+    /// Total wall-clock across all phases.
+    pub fn total_us(&self) -> u64 {
+        self.setup_us + self.simulate_us + self.collect_us
+    }
+}
+
+/// Provenance for one run: everything needed to reproduce it, plus how
+/// long it took. Attached to every [`RunResult`](crate::RunResult).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RunManifest {
+    /// The full scenario the run executed.
+    pub scenario: Scenario,
+    /// Protocol under test.
+    pub protocol: ProtocolKind,
+    /// Seed that produced the run.
+    pub seed: u64,
+    /// Slots simulated (the scenario's `sim_slots`).
+    pub slot_budget: Slot,
+    /// Whether event tracing was enabled for the run.
+    pub traced: bool,
+    /// Wall-clock per runner phase.
+    pub wall_clock: PhaseTimings,
+}
+
+/// Derives counters and histograms from a run's event trace and its
+/// per-message records.
+///
+/// Counters: `tx_frames`, `rx_ok`, `collisions`, `contention_starts`,
+/// `contention_wins`, `retries`, `nav_defers`, `polls_rts`, `polls_rak`,
+/// `acks_missed`, `batches`, `cover_sets`.
+///
+/// Histograms: `contention_phases_per_msg`, `batch_len`, `idle_gap`
+/// (slots between consecutive transmissions anywhere in the network),
+/// `ack_coverage_per_round` (fraction of the polled batch that ACKed).
+pub fn collect_metrics(
+    events: &[TraceEvent],
+    messages: &[rmm_stats::MessageMetric],
+) -> MetricsRegistry {
+    let mut reg = MetricsRegistry::new();
+    let mut intervals: Vec<(Slot, Slot)> = Vec::new();
+    for ev in events {
+        match ev {
+            TraceEvent::TxStart { slot, slots, .. } => {
+                reg.inc("tx_frames");
+                intervals.push((*slot, slot + Slot::from(*slots)));
+            }
+            TraceEvent::RxOk { .. } => reg.inc("rx_ok"),
+            TraceEvent::Collision { .. } => reg.inc("collisions"),
+            TraceEvent::ContentionStart { .. } => reg.inc("contention_starts"),
+            TraceEvent::ContentionEnd { .. } => reg.inc("contention_wins"),
+            TraceEvent::Retry { .. } => reg.inc("retries"),
+            TraceEvent::NavDefer { .. } => reg.inc("nav_defers"),
+            TraceEvent::PollSent { kind, .. } => {
+                reg.inc(if *kind == FrameKind::Rak {
+                    "polls_rak"
+                } else {
+                    "polls_rts"
+                });
+            }
+            TraceEvent::AckMissed { .. } => reg.inc("acks_missed"),
+            TraceEvent::BatchStart { batch, .. } => {
+                reg.inc("batches");
+                reg.histogram_mut("batch_len", 0.0, 32.0, 32)
+                    .record(batch.len() as f64);
+            }
+            TraceEvent::BatchEnd { batch, acked, .. } => {
+                if !batch.is_empty() {
+                    reg.histogram_mut("ack_coverage_per_round", 0.0, 1.1, 11)
+                        .record(acked.len() as f64 / batch.len() as f64);
+                }
+            }
+            TraceEvent::CoverSetComputed { .. } => reg.inc("cover_sets"),
+        }
+    }
+    // Medium-idle gaps between consecutive transmissions, network-wide.
+    intervals.sort_unstable();
+    let mut busy_until = None;
+    for &(s, e) in &intervals {
+        if let Some(until) = busy_until {
+            if s > until {
+                reg.histogram_mut("idle_gap", 0.0, 16.0, 16)
+                    .record((s - until) as f64);
+            }
+        }
+        busy_until = Some(busy_until.map_or(e, |u: Slot| u.max(e)));
+    }
+    for m in messages {
+        reg.histogram_mut("contention_phases_per_msg", 0.0, 16.0, 16)
+            .record(f64::from(m.contention_phases));
+    }
+    reg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmm_sim::{MsgId, NodeId};
+
+    fn msg() -> MsgId {
+        MsgId::new(NodeId(0), 0)
+    }
+
+    #[test]
+    fn counters_cover_every_event_kind() {
+        let m = msg();
+        let events = vec![
+            TraceEvent::TxStart {
+                slot: 0,
+                node: NodeId(0),
+                kind: FrameKind::Rts,
+                dest: Some(NodeId(1)),
+                msg: m,
+                slots: 1,
+            },
+            TraceEvent::RxOk {
+                slot: 1,
+                node: NodeId(1),
+                from: NodeId(0),
+                kind: FrameKind::Rts,
+                captured: false,
+            },
+            TraceEvent::ContentionStart {
+                slot: 0,
+                node: NodeId(0),
+                msg: m,
+                attempts: 1,
+                backoff_slots: 3,
+            },
+            TraceEvent::ContentionEnd {
+                slot: 4,
+                node: NodeId(0),
+                msg: m,
+                attempts: 1,
+            },
+            TraceEvent::PollSent {
+                slot: 4,
+                node: NodeId(0),
+                msg: m,
+                kind: FrameKind::Rts,
+                target: NodeId(1),
+            },
+            TraceEvent::PollSent {
+                slot: 9,
+                node: NodeId(0),
+                msg: m,
+                kind: FrameKind::Rak,
+                target: NodeId(1),
+            },
+            TraceEvent::BatchStart {
+                slot: 4,
+                node: NodeId(0),
+                msg: m,
+                round: 1,
+                batch: vec![NodeId(1), NodeId(2)],
+            },
+            TraceEvent::BatchEnd {
+                slot: 12,
+                node: NodeId(0),
+                msg: m,
+                round: 1,
+                batch: vec![NodeId(1), NodeId(2)],
+                acked: vec![NodeId(1)],
+            },
+            TraceEvent::AckMissed {
+                slot: 12,
+                node: NodeId(0),
+                msg: m,
+                target: NodeId(2),
+            },
+        ];
+        let reg = collect_metrics(&events, &[]);
+        assert_eq!(reg.counter("tx_frames"), 1);
+        assert_eq!(reg.counter("rx_ok"), 1);
+        assert_eq!(reg.counter("contention_starts"), 1);
+        assert_eq!(reg.counter("contention_wins"), 1);
+        assert_eq!(reg.counter("polls_rts"), 1);
+        assert_eq!(reg.counter("polls_rak"), 1);
+        assert_eq!(reg.counter("batches"), 1);
+        assert_eq!(reg.counter("acks_missed"), 1);
+        assert_eq!(reg.histogram("batch_len").unwrap().count(), 1);
+        let cov = reg.histogram("ack_coverage_per_round").unwrap();
+        assert_eq!(cov.count(), 1);
+        // 1 of 2 receivers ACKed → coverage 0.5 lands in bin [0.5, 0.6).
+        assert_eq!(cov.bins()[5], 1);
+    }
+
+    #[test]
+    fn idle_gaps_merge_overlapping_transmissions() {
+        let m = msg();
+        let tx = |slot: Slot, slots: u32| TraceEvent::TxStart {
+            slot,
+            node: NodeId(0),
+            kind: FrameKind::Data,
+            dest: None,
+            msg: m,
+            slots,
+        };
+        // [0,10) with [2,3) nested inside, then [12,14): one gap of 2.
+        let events = vec![tx(0, 10), tx(2, 1), tx(12, 2)];
+        let reg = collect_metrics(&events, &[]);
+        let h = reg.histogram("idle_gap").unwrap();
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.bins()[2], 1);
+    }
+}

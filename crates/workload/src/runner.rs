@@ -2,6 +2,7 @@
 //! seeds (the paper averages 100 runs per data point).
 
 use crate::mobility::{MobilityConfig, RandomWaypoint};
+use crate::observe::{PhaseTimings, RunManifest};
 use crate::placement::uniform_square;
 use crate::scenario::Scenario;
 use crate::traffic::TrafficGen;
@@ -9,10 +10,11 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rmm_geom::Point;
 use rmm_mac::{FrameKindCounts, MacNode, Outcome, ProtocolKind};
-use rmm_sim::Engine;
+use rmm_sim::{Engine, Trace};
 use rmm_stats::{MessageMetric, RunMetrics};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Gaussian sample via Box–Muller (keeps the dependency set small).
 fn gaussian(rng: &mut SmallRng, sigma: f64) -> f64 {
@@ -42,10 +44,34 @@ pub struct RunResult {
     /// Fraction of slots with at least one transmission on the air
     /// somewhere in the network.
     pub utilization: f64,
+    /// Run provenance: scenario, protocol, seed, and wall-clock phases.
+    pub manifest: RunManifest,
 }
 
 /// Executes one seeded run of `scenario` under `protocol`.
 pub fn run_one(scenario: &Scenario, protocol: ProtocolKind, seed: u64) -> RunResult {
+    run_one_impl(scenario, protocol, seed, false).0
+}
+
+/// [`run_one`] with event tracing enabled: returns the result together
+/// with the full protocol event trace. Tracing only *records* — the
+/// simulation is slot-for-slot identical to the untraced run.
+pub fn run_one_traced(
+    scenario: &Scenario,
+    protocol: ProtocolKind,
+    seed: u64,
+) -> (RunResult, Trace) {
+    let (result, trace) = run_one_impl(scenario, protocol, seed, true);
+    (result, trace.expect("tracing was enabled"))
+}
+
+fn run_one_impl(
+    scenario: &Scenario,
+    protocol: ProtocolKind,
+    seed: u64,
+    traced: bool,
+) -> (RunResult, Option<Trace>) {
+    let t_setup = Instant::now();
     let topo = uniform_square(scenario.n_nodes, scenario.radius, seed);
     let mean_degree = topo.mean_degree();
     let mut nodes = if scenario.position_noise > 0.0 {
@@ -76,9 +102,14 @@ pub fn run_one(scenario: &Scenario, protocol: ProtocolKind, seed: u64) -> RunRes
     if scenario.fer > 0.0 {
         engine.set_fer(scenario.fer);
     }
+    if traced {
+        engine.enable_trace();
+    }
     let mut traffic = TrafficGen::new(scenario.msg_rate, scenario.mix, seed);
     let mut arrivals = Vec::new();
+    let setup_us = t_setup.elapsed().as_micros() as u64;
 
+    let t_simulate = Instant::now();
     for t in 0..scenario.sim_slots {
         traffic.tick(engine.topology(), t, &mut arrivals);
         for a in &arrivals {
@@ -89,7 +120,9 @@ pub fn run_one(scenario: &Scenario, protocol: ProtocolKind, seed: u64) -> RunRes
     for node in &mut nodes {
         node.drain_unfinished(scenario.sim_slots);
     }
+    let simulate_us = t_simulate.elapsed().as_micros() as u64;
 
+    let t_collect = Instant::now();
     // Assemble ground-truth delivery per message. Only messages whose
     // full timeout window fits inside the run are counted, so late
     // arrivals don't read as spurious failures.
@@ -123,7 +156,8 @@ pub fn run_one(scenario: &Scenario, protocol: ProtocolKind, seed: u64) -> RunRes
     for node in &nodes {
         frames.add(&node.counters().sent_by_kind);
     }
-    RunResult {
+    let collect_us = t_collect.elapsed().as_micros() as u64;
+    let result = RunResult {
         seed,
         mean_degree,
         group_metrics: RunMetrics::compute(&group, scenario.reliability_threshold),
@@ -132,7 +166,20 @@ pub fn run_one(scenario: &Scenario, protocol: ProtocolKind, seed: u64) -> RunRes
         collisions: engine.channel().collisions_total,
         utilization: engine.channel().busy_slots as f64 / scenario.sim_slots as f64,
         frames,
-    }
+        manifest: RunManifest {
+            scenario: *scenario,
+            protocol,
+            seed,
+            slot_budget: scenario.sim_slots,
+            traced,
+            wall_clock: PhaseTimings {
+                setup_us,
+                simulate_us,
+                collect_us,
+            },
+        },
+    };
+    (result, engine.take_trace())
 }
 
 /// Executes one seeded run with random-waypoint mobility and periodic
@@ -147,6 +194,7 @@ pub fn run_mobile(
     mobility: MobilityConfig,
     seed: u64,
 ) -> RunResult {
+    let t_setup = Instant::now();
     let initial = uniform_square(scenario.n_nodes, scenario.radius, seed);
     let mut waypoint = RandomWaypoint::new(initial.positions().to_vec(), mobility, seed);
     let mut true_topo = waypoint.topology(scenario.radius);
@@ -170,7 +218,9 @@ pub fn run_mobile(
     }
     let mut traffic = TrafficGen::new(scenario.msg_rate, scenario.mix, seed);
     let mut arrivals = Vec::new();
+    let setup_us = t_setup.elapsed().as_micros() as u64;
 
+    let t_simulate = Instant::now();
     for t in 0..scenario.sim_slots {
         if t > 0 && t % mobility.update_period == 0 {
             waypoint.step(mobility.update_period);
@@ -195,6 +245,9 @@ pub fn run_mobile(
     for node in &mut nodes {
         node.drain_unfinished(scenario.sim_slots);
     }
+    let simulate_us = t_simulate.elapsed().as_micros() as u64;
+
+    let t_collect = Instant::now();
     let cutoff = scenario.sim_slots.saturating_sub(scenario.timing.timeout);
     let mut messages = Vec::new();
     for node in &nodes {
@@ -225,6 +278,7 @@ pub fn run_mobile(
     for node in &nodes {
         frames.add(&node.counters().sent_by_kind);
     }
+    let collect_us = t_collect.elapsed().as_micros() as u64;
     RunResult {
         seed,
         mean_degree,
@@ -234,6 +288,18 @@ pub fn run_mobile(
         collisions: engine.channel().collisions_total,
         utilization: engine.channel().busy_slots as f64 / scenario.sim_slots as f64,
         frames,
+        manifest: RunManifest {
+            scenario: *scenario,
+            protocol,
+            seed,
+            slot_budget: scenario.sim_slots,
+            traced: false,
+            wall_clock: PhaseTimings {
+                setup_us,
+                simulate_us,
+                collect_us,
+            },
+        },
     }
 }
 

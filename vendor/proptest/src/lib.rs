@@ -181,20 +181,11 @@ mod tests {
 
     #[test]
     fn deterministic_across_runs() {
-        let mut a = crate::test_runner::TestRunner::new(
-            "name",
-            ProptestConfig::default(),
-        );
-        let mut b = crate::test_runner::TestRunner::new(
-            "name",
-            ProptestConfig::default(),
-        );
+        let mut a = crate::test_runner::TestRunner::new("name", ProptestConfig::default());
+        let mut b = crate::test_runner::TestRunner::new("name", ProptestConfig::default());
         let s = 0u64..1_000_000;
         for _ in 0..32 {
-            assert_eq!(
-                Strategy::sample(&s, a.rng()),
-                Strategy::sample(&s, b.rng())
-            );
+            assert_eq!(Strategy::sample(&s, a.rng()), Strategy::sample(&s, b.rng()));
         }
     }
 }

@@ -239,8 +239,9 @@ pub mod __private {
     /// `Option` fields default to `None`, as in real serde).
     pub fn field<T: Deserialize>(obj: &Map, name: &str) -> Result<T, Error> {
         match obj.get(name) {
-            Some(v) => T::deserialize_value(v)
-                .map_err(|e| Error::custom(format!("field `{name}`: {e}"))),
+            Some(v) => {
+                T::deserialize_value(v).map_err(|e| Error::custom(format!("field `{name}`: {e}")))
+            }
             None => T::deserialize_value(&Value::Null)
                 .map_err(|_| Error::custom(format!("missing field `{name}`"))),
         }

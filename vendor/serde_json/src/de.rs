@@ -227,10 +227,7 @@ mod tests {
         assert_eq!(parse("42").unwrap(), Value::Number(Number::U(42)));
         assert_eq!(parse("-7").unwrap(), Value::Number(Number::I(-7)));
         assert_eq!(parse("2.5e-3").unwrap(), Value::Number(Number::F(0.0025)));
-        assert_eq!(
-            parse(r#""a\nbA""#).unwrap(),
-            Value::String("a\nbA".into())
-        );
+        assert_eq!(parse(r#""a\nbA""#).unwrap(), Value::String("a\nbA".into()));
     }
 
     #[test]
