@@ -45,6 +45,48 @@ impl Contention {
         self.backoff
     }
 
+    /// Consecutive idle slots accumulated toward the DIFS requirement.
+    pub fn idle_run(&self) -> u32 {
+        self.idle_run
+    }
+
+    /// Applies the effect of one (or more) busy slots without polling:
+    /// the DIFS idle run restarts, the backoff counter survives. Used by
+    /// the event-horizon fast path to replay a NAV-busy gap in O(1).
+    pub fn freeze(&mut self) {
+        if self.active {
+            self.idle_run = 0;
+        }
+    }
+
+    /// Replays `slots` consecutive idle polls in one call — the engine
+    /// fast-forwarded over them, having proven the medium idle. The gap
+    /// must end strictly before the access grant: the engine never
+    /// skips past a station's wakeup hint, and the grant slot is hinted.
+    pub fn advance_idle(&mut self, slots: u64, difs: u32) {
+        if !self.active {
+            return;
+        }
+        debug_assert!(
+            self.slots_to_grant(difs).is_none_or(|g| slots < g),
+            "idle replay of {slots} slots crosses the access grant"
+        );
+        for _ in 0..slots {
+            let granted = self.poll(false, difs);
+            debug_assert!(!granted, "idle replay must not grant access");
+        }
+    }
+
+    /// Number of consecutive idle polls from here until this contention
+    /// grants access (`None` when inactive): the remaining DIFS run,
+    /// the backoff countdown, and the granting poll itself.
+    pub fn slots_to_grant(&self, difs: u32) -> Option<u64> {
+        if !self.active {
+            return None;
+        }
+        Some(u64::from(difs.saturating_sub(self.idle_run)) + u64::from(self.backoff) + 1)
+    }
+
     /// Advances the contention by one slot. `busy` is the carrier-sense
     /// state (medium busy during the previous slot, or virtual carrier
     /// sense via NAV). Returns `true` when the station wins access and
@@ -170,6 +212,67 @@ mod tests {
         }
         assert_eq!(grants, 1);
         assert!(!c.is_active());
+    }
+
+    #[test]
+    fn slots_to_grant_predicts_poll_count() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let mut c = Contention::idle();
+            c.begin(15, &mut r);
+            // Wind forward a random number of idle slots, freezing once
+            // along the way, and check the prediction at every point.
+            assert!(!c.poll(false, 4));
+            assert!(!c.poll(true, 4));
+            loop {
+                let predicted = c.slots_to_grant(4).expect("active");
+                let mut probe = c.clone();
+                let mut polls = 0u64;
+                while !probe.poll(false, 4) {
+                    polls += 1;
+                }
+                assert_eq!(polls + 1, predicted);
+                if predicted == 1 {
+                    assert!(c.poll(false, 4));
+                    break;
+                }
+                assert!(!c.poll(false, 4));
+            }
+            assert_eq!(c.slots_to_grant(4), None, "inactive after grant");
+        }
+    }
+
+    #[test]
+    fn advance_idle_matches_slotwise_polling() {
+        let mut r = rng();
+        for gap in 0..8 {
+            let mut a = Contention::idle();
+            a.begin(15, &mut r);
+            let mut b = a.clone();
+            a.advance_idle(gap, 4);
+            for _ in 0..gap {
+                assert!(!b.poll(false, 4));
+            }
+            assert_eq!(a.backoff(), b.backoff());
+            assert_eq!(a.idle_run(), b.idle_run());
+            assert_eq!(a.is_active(), b.is_active());
+        }
+    }
+
+    #[test]
+    fn freeze_matches_busy_poll() {
+        let mut r = rng();
+        let mut a = Contention::idle();
+        a.begin(7, &mut r);
+        for _ in 0..3 {
+            a.poll(false, 4);
+        }
+        let mut b = a.clone();
+        a.freeze();
+        assert!(!b.poll(true, 4));
+        assert_eq!(a.backoff(), b.backoff());
+        assert_eq!(a.idle_run(), b.idle_run());
+        assert_eq!(a.idle_run(), 0);
     }
 
     #[test]

@@ -68,6 +68,14 @@ impl Nav {
         self.entries.iter().map(|&(_, u)| u).max().unwrap_or(0)
     }
 
+    /// The first slot at or after `now` at which the station is not
+    /// yielding. Used by the event-horizon fast path: the NAV is the
+    /// only carrier-sense input that can change during a skipped gap,
+    /// and it is static, so the yield/idle boundary is known up front.
+    pub fn next_idle(&self, now: Slot) -> Slot {
+        now.max(self.clear_at())
+    }
+
     /// Drops every reservation.
     pub fn reset(&mut self) {
         self.entries.clear();
@@ -145,6 +153,19 @@ mod tests {
         nav.reserve(10, 5, msg(2)); // prunes msg(1) (expired at 5)
         assert_eq!(nav.clear_at(), 15);
         assert!(!nav.yielding_except(12, msg(2)));
+    }
+
+    #[test]
+    fn next_idle_is_first_non_yielding_slot() {
+        let mut nav = Nav::new();
+        assert_eq!(nav.next_idle(7), 7);
+        nav.reserve(10, 5, msg(1));
+        assert_eq!(nav.next_idle(10), 15);
+        assert_eq!(nav.next_idle(14), 15);
+        assert_eq!(nav.next_idle(20), 20);
+        // Consistency with `yielding`: yields strictly before, not at.
+        assert!(nav.yielding(14));
+        assert!(!nav.yielding(nav.next_idle(0)));
     }
 
     #[test]

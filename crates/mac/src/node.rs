@@ -105,6 +105,10 @@ pub struct MacNode {
     core: NodeCore,
     queue: VecDeque<Request>,
     active: Option<Active>,
+    /// First slot whose `on_slot` has not run yet. When the engine
+    /// fast-forwards, this lags `ctx.now` and the gap is replayed by
+    /// [`MacNode::catch_up`].
+    next_poll: Slot,
 }
 
 enum DriveMode {
@@ -143,6 +147,7 @@ impl MacNode {
             },
             queue: VecDeque::new(),
             active: None,
+            next_poll: 0,
         }
     }
 
@@ -641,8 +646,44 @@ impl MacNode {
         }
     }
 
+    /// Replays the per-slot effects of slots the engine fast-forwarded
+    /// over (`next_poll..now`).
+    ///
+    /// The engine only skips slots while the channel is globally
+    /// quiescent and never skips past this station's own wakeup hint, so
+    /// inside the gap: physical carrier sense read idle everywhere, no
+    /// frame was delivered, no wait-for-data deadline, service timeout
+    /// or FSM deadline fell due, and an idle station with queued work
+    /// was never left waiting. The only per-slot state that evolved is
+    /// the contention countdown — busy (frozen) while the NAV still had
+    /// a reservation, idle polls after it lapsed — which this replays
+    /// exactly.
+    fn catch_up(&mut self, now: Slot) {
+        let start = self.next_poll;
+        if start >= now {
+            return;
+        }
+        let Some(a) = &mut self.active else {
+            return;
+        };
+        if !a.contending {
+            return;
+        }
+        debug_assert!(self.core.tx_until <= start, "skipped while transmitting");
+        // NAV reservations are static during the gap: the station yields
+        // on every gap slot before `clear`, then sees pure idle.
+        let clear = self.core.nav.next_idle(start).min(now);
+        if clear > start {
+            a.contention.freeze();
+        }
+        a.contention
+            .advance_idle(now - clear, self.core.timing.difs);
+    }
+
     fn slot(&mut self, ctx: &mut Ctx<'_>) {
         let now = ctx.now;
+        self.catch_up(now);
+        self.next_poll = now + 1;
         self.flush_wait_data(ctx);
 
         if self.active.is_none() {
@@ -690,10 +731,62 @@ impl MacNode {
 
 impl Station for MacNode {
     fn on_receive(&mut self, frame: &Frame, _captured: bool, ctx: &mut Ctx<'_>) {
+        // A reception at slot `s` needs a transmission ending at `s`, so
+        // the channel was non-quiescent right up to `s` and the engine
+        // cannot have skipped into this slot: there is never a gap to
+        // replay here.
+        debug_assert!(self.next_poll >= ctx.now, "reception after a skipped gap");
         self.handle_receive(frame, ctx);
     }
 
     fn on_slot(&mut self, ctx: &mut Ctx<'_>) {
         self.slot(ctx);
+    }
+
+    fn next_wakeup(&self, now: Slot) -> Option<Slot> {
+        let t = self.core.timing;
+        let mut wake: Option<Slot> = None;
+        let mut consider = |slot: Slot| {
+            // Deadlines already due act on the very next slot.
+            let slot = slot.max(now + 1);
+            wake = Some(wake.map_or(slot, |w: Slot| w.min(slot)));
+        };
+        for w in &self.core.wait_data {
+            consider(w.deadline);
+        }
+        match &self.active {
+            Some(a) => {
+                consider(a.req.arrival + t.timeout);
+                if a.contending {
+                    if !a.contention.is_active() {
+                        // Unreachable in practice (contending implies an
+                        // armed countdown); degrade to naive stepping.
+                        consider(now + 1);
+                    } else {
+                        // Under an idle medium the station yields to its
+                        // NAV, then needs DIFS + backoff + 1 idle polls;
+                        // the grant lands on the last of them.
+                        let first_idle = self.core.nav.next_idle(now + 1);
+                        let idle_run = if first_idle > now + 1 {
+                            0
+                        } else {
+                            a.contention.idle_run()
+                        };
+                        let polls = u64::from(t.difs.saturating_sub(idle_run))
+                            + u64::from(a.contention.backoff())
+                            + 1;
+                        consider(first_idle + polls - 1);
+                    }
+                } else if let Some(at) = a.fsm.deadline() {
+                    consider(at);
+                }
+            }
+            None => {
+                if !self.queue.is_empty() {
+                    consider(now + 1);
+                }
+            }
+        }
+        wake
     }
 }

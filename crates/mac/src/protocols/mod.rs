@@ -278,6 +278,24 @@ impl Fsm {
         }
     }
 
+    /// The next slot at which [`Fsm::on_slot`] will act (the pending
+    /// response or airtime deadline), if an exchange is in flight.
+    /// `None` whenever the FSM is idle — in particular while the station
+    /// is still contending for the medium. Feeds
+    /// [`Station::next_wakeup`](rmm_sim::Station::next_wakeup).
+    pub fn deadline(&self) -> Option<Slot> {
+        match self {
+            Fsm::Dcf(f) => f.deadline(),
+            Fsm::Plain(f) => f.deadline(),
+            Fsm::Tang(f) => f.deadline(),
+            Fsm::Bsma(f) => f.deadline(),
+            Fsm::Bmw(f) => f.deadline(),
+            Fsm::Bmmm(f) => f.deadline(),
+            Fsm::Leader(f) => f.deadline(),
+            Fsm::BmmmUncoord(f) => f.deadline(),
+        }
+    }
+
     /// A CTS/ACK/NAK addressed to this station was decoded.
     pub fn on_frame(&mut self, frame: &Frame, env: &mut Env<'_, '_>) -> Flow {
         match self {

@@ -52,6 +52,13 @@ impl TangFsm {
         Flow::Continue
     }
 
+    /// The next slot at which `on_slot` will act — the pending response
+    /// or airtime deadline — if an exchange is in flight. Feeds the
+    /// station's event-horizon wakeup hint.
+    pub(super) fn deadline(&self) -> Option<Slot> {
+        (self.phase != Phase::Idle).then_some(self.at)
+    }
+
     pub(super) fn on_slot(&mut self, env: &mut Env<'_, '_>) -> Flow {
         if env.now() != self.at || self.phase == Phase::Idle {
             return Flow::Continue;

@@ -83,7 +83,7 @@ impl Outcome {
 }
 
 /// A sender-side record of one serviced (or abandoned) message.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SentRecord {
     /// Message id.
     pub msg: MsgId,
@@ -127,7 +127,7 @@ impl SentRecord {
 }
 
 /// Running per-node counters, cheap enough to keep always-on.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct NodeCounters {
     /// Frames this station put on the air.
     pub frames_sent: u64,

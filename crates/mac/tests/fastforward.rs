@@ -1,0 +1,139 @@
+//! Engine-level tests of the event-horizon fast path driving real MAC
+//! stations: the fast path must actually skip dead air (not degenerate
+//! to naive stepping), stay bit-exact while doing so, and honor the
+//! `next_wakeup` hint contract.
+
+use proptest::prelude::*;
+use rmm_geom::Point;
+use rmm_mac::{MacNode, MacTiming, ProtocolKind, TrafficKind};
+use rmm_sim::{Capture, Engine, NodeId, Slot, Station, Topology, TraceEvent};
+
+/// A star: node 0 in the middle, `n` receivers around it, all mutually
+/// in range (one cell).
+fn star(n: usize) -> Topology {
+    let mut pts = vec![Point::new(0.5, 0.5)];
+    for i in 0..n {
+        let a = i as f64 * std::f64::consts::TAU / n as f64;
+        pts.push(Point::new(0.5 + 0.05 * a.cos(), 0.5 + 0.05 * a.sin()));
+    }
+    Topology::new(pts, 0.2)
+}
+
+const ALL_PROTOCOLS: [ProtocolKind; 8] = [
+    ProtocolKind::Ieee80211,
+    ProtocolKind::TangGerla,
+    ProtocolKind::Bsma,
+    ProtocolKind::Bmw,
+    ProtocolKind::Bmmm,
+    ProtocolKind::Lamm,
+    ProtocolKind::LeaderBased,
+    ProtocolKind::BmmmUncoordinated,
+];
+
+/// Sparse multicast arrivals with long dead-air gaps between exchanges.
+fn build(protocol: ProtocolKind, seed: u64) -> (Vec<MacNode>, Engine) {
+    let topo = star(4);
+    let mut nodes = MacNode::build_network(&topo, protocol, MacTiming::default(), seed);
+    let mut engine = Engine::new(topo, Capture::ZorziRao, seed);
+    engine.enable_trace();
+    let receivers: Vec<NodeId> = (1..=4).map(NodeId).collect();
+    nodes[0].enqueue(TrafficKind::Multicast, receivers.clone(), 0);
+    nodes[0].enqueue(TrafficKind::Multicast, receivers.clone(), 0);
+    nodes[2].enqueue(TrafficKind::Unicast, vec![NodeId(1)], 0);
+    nodes[0].enqueue(TrafficKind::Multicast, receivers, 0);
+    (nodes, engine)
+}
+
+#[test]
+fn fast_path_skips_most_of_a_sparse_run_and_stays_bit_exact() {
+    const SLOTS: Slot = 3_000;
+    for protocol in ALL_PROTOCOLS {
+        for seed in [3u64, 17, 29] {
+            let (mut nodes_a, mut eng_a) = build(protocol, seed);
+            eng_a.run(&mut nodes_a, SLOTS);
+            let (mut nodes_b, mut eng_b) = build(protocol, seed);
+            eng_b.run_fast(&mut nodes_b, SLOTS);
+
+            assert_eq!(eng_b.now(), SLOTS);
+            assert_eq!(
+                eng_a.trace().unwrap().events(),
+                eng_b.trace().unwrap().events(),
+                "{protocol:?} seed {seed}: trace diverged"
+            );
+            for (a, b) in nodes_a.iter().zip(&nodes_b) {
+                assert_eq!(a.records(), b.records(), "{protocol:?} seed {seed}");
+                assert_eq!(a.received(), b.received(), "{protocol:?} seed {seed}");
+                assert_eq!(a.counters(), b.counters(), "{protocol:?} seed {seed}");
+            }
+            assert_eq!(
+                eng_a.channel().collisions_total,
+                eng_b.channel().collisions_total
+            );
+            assert_eq!(eng_a.channel().busy_slots, eng_b.channel().busy_slots);
+            assert_eq!(eng_a.slots_skipped(), 0, "naive run must never skip");
+            // The exchanges above fit in a few hundred slots; the rest of
+            // the run is dead air the fast path must jump over.
+            assert!(
+                eng_b.slots_skipped() > SLOTS / 2,
+                "{protocol:?} seed {seed}: only {} of {SLOTS} slots skipped",
+                eng_b.slots_skipped()
+            );
+        }
+    }
+}
+
+#[test]
+fn wakeup_hints_fire_exactly_on_protocol_deadlines() {
+    // A BMMM batch exchange alternates contention countdowns and FSM
+    // response deadlines; if any hint were late, a poll or an ACK
+    // deadline would be missed and the trace would record fewer (or
+    // differently-timed) control frames. Completion must match naive.
+    let (mut nodes_a, mut eng_a) = build(ProtocolKind::Bmmm, 7);
+    eng_a.run(&mut nodes_a, 2_000);
+    let (mut nodes_b, mut eng_b) = build(ProtocolKind::Bmmm, 7);
+    eng_b.run_fast(&mut nodes_b, 2_000);
+    let done = |nodes: &[MacNode]| -> usize {
+        nodes
+            .iter()
+            .flat_map(|n| n.records())
+            .filter(|r| r.outcome.is_completed())
+            .count()
+    };
+    assert!(done(&nodes_a) >= 3, "exchanges should complete");
+    assert_eq!(done(&nodes_a), done(&nodes_b));
+    let polls = |eng: &Engine| {
+        eng.trace()
+            .unwrap()
+            .events()
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::PollSent { .. }))
+            .count()
+    };
+    assert_eq!(polls(&eng_a), polls(&eng_b));
+}
+
+proptest! {
+    /// Hint contract: at every point of a randomly-driven simulation,
+    /// every station's `next_wakeup(now)` is strictly after `now`.
+    #[test]
+    fn next_wakeup_is_never_earlier_than_the_hinted_slot(
+        seed in 0u64..500,
+        protocol_idx in 0usize..8,
+        probe_slots in 1u64..400,
+    ) {
+        let protocol = ALL_PROTOCOLS[protocol_idx];
+        let (mut nodes, mut engine) = build(protocol, seed);
+        for _ in 0..probe_slots {
+            engine.step(&mut nodes);
+            let now = engine.now() - 1; // slot the stations just saw
+            for (i, node) in nodes.iter().enumerate() {
+                if let Some(wake) = node.next_wakeup(now) {
+                    prop_assert!(
+                        wake > now,
+                        "node {i}: hint {wake} not after slot {now} ({protocol:?})"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -80,12 +80,29 @@ pub struct SlotOutcome {
     pub frame_errors: Vec<NodeId>,
 }
 
+impl SlotOutcome {
+    /// Empties all three event lists, keeping their allocations.
+    pub fn clear(&mut self) {
+        self.receptions.clear();
+        self.collisions.clear();
+        self.frame_errors.clear();
+    }
+}
+
 /// The shared radio medium.
 #[derive(Debug)]
 pub struct Channel {
     transmissions: Vec<Transmission>,
     capture: Capture,
     max_len: u32,
+    /// One past the last slot any transmission ever begun will occupy
+    /// (monotone). Slots at or beyond it are dead air unless a new
+    /// transmission starts first.
+    latest_end: Slot,
+    /// Scratch: indices of transmissions ending at the resolved slot.
+    ended_scratch: Vec<usize>,
+    /// Scratch: indices of interferers at one receiver.
+    interferer_scratch: Vec<usize>,
     /// Independent per-reception frame error probability (transmission
     /// errors other than collisions — noise, fading). The paper's
     /// Section 6 analysis folds these into its `q`; default 0.
@@ -106,6 +123,9 @@ impl Channel {
             transmissions: Vec::new(),
             capture,
             max_len: 1,
+            latest_end: 0,
+            ended_scratch: Vec::new(),
+            interferer_scratch: Vec::new(),
             fer: 0.0,
             collisions_total: 0,
             frame_errors_total: 0,
@@ -146,11 +166,22 @@ impl Channel {
         );
         let len = frame.slots.max(1);
         self.max_len = self.max_len.max(len);
+        let end = now + Slot::from(len);
+        self.latest_end = self.latest_end.max(end);
         self.transmissions.push(Transmission {
             start: now,
-            end: now + Slot::from(len),
+            end,
             frame,
         });
+    }
+
+    /// Whether slot `slot` is dead air: every transmission ever begun
+    /// ends strictly before it, so nothing resolves at `slot`, no
+    /// station's carrier sense reads busy at `slot`, and (absent new
+    /// transmissions) the same holds for every later slot. The engine's
+    /// event-horizon stepper may only skip quiescent slots.
+    pub fn quiescent_at(&self, slot: Slot) -> bool {
+        self.latest_end < slot
     }
 
     /// Whether the medium at `node` was busy during slot `now - 1`:
@@ -166,6 +197,31 @@ impl Channel {
             .any(|t| t.occupies(prev) && (t.frame.src == node || topo.in_range(node, t.frame.src)))
     }
 
+    /// Writes the carrier-sense map for decisions at slot `now` into
+    /// `out`: `out[i]` is true iff the medium at `NodeId(i)` was busy
+    /// during slot `now - 1`. Equivalent to calling
+    /// [`Channel::busy_prev_slot`] for every station, but computed in
+    /// one pass over the active transmissions (marking each sender and
+    /// its audible neighbors) instead of rescanning the transmission
+    /// list per station.
+    pub fn busy_map(&self, now: Slot, topo: &Topology, out: &mut Vec<bool>) {
+        out.clear();
+        out.resize(topo.len(), false);
+        if now == 0 || self.quiescent_at(now) {
+            return;
+        }
+        let prev = now - 1;
+        for t in &self.transmissions {
+            if !t.occupies(prev) {
+                continue;
+            }
+            out[t.frame.src.index()] = true;
+            for &n in topo.neighbors(t.frame.src) {
+                out[n.index()] = true;
+            }
+        }
+    }
+
     /// Whether `node` has a frame of its own on the air at slot `now`.
     pub fn is_transmitting(&self, node: NodeId, now: Slot) -> bool {
         self.transmissions
@@ -177,16 +233,36 @@ impl Channel {
     /// returns the decoded receptions plus collision records.
     pub fn resolve_ended(&mut self, now: Slot, topo: &Topology, rng: &mut SmallRng) -> SlotOutcome {
         let mut outcome = SlotOutcome::default();
-        let ended: Vec<usize> = (0..self.transmissions.len())
-            .filter(|&i| self.transmissions[i].end == now)
-            .collect();
+        self.resolve_ended_into(now, topo, rng, &mut outcome);
+        outcome
+    }
+
+    /// Like [`Channel::resolve_ended`], but clears and fills a
+    /// caller-owned [`SlotOutcome`], reusing its vectors (and internal
+    /// index scratch) across slots instead of allocating fresh ones.
+    pub fn resolve_ended_into(
+        &mut self,
+        now: Slot,
+        topo: &Topology,
+        rng: &mut SmallRng,
+        outcome: &mut SlotOutcome,
+    ) {
+        outcome.clear();
+        if self.quiescent_at(now) {
+            return;
+        }
+        let mut ended = std::mem::take(&mut self.ended_scratch);
+        let mut interferers = std::mem::take(&mut self.interferer_scratch);
+        ended.clear();
+        ended.extend((0..self.transmissions.len()).filter(|&i| self.transmissions[i].end == now));
         for &fi in &ended {
             let f = &self.transmissions[fi];
             for &r in topo.neighbors(f.frame.src) {
-                self.resolve_at_receiver(fi, r, topo, rng, &mut outcome);
+                self.resolve_at_receiver(fi, r, topo, rng, outcome, &mut interferers);
             }
         }
-        outcome
+        self.ended_scratch = ended;
+        self.interferer_scratch = interferers;
     }
 
     fn resolve_at_receiver(
@@ -196,6 +272,7 @@ impl Channel {
         topo: &Topology,
         rng: &mut SmallRng,
         outcome: &mut SlotOutcome,
+        interferers: &mut Vec<usize>,
     ) {
         let f = &self.transmissions[fi];
         // Half-duplex: a station transmitting during the frame hears nothing.
@@ -208,13 +285,14 @@ impl Channel {
         }
         // Interferers: other transmissions audible at the receiver that
         // overlap this frame in time.
-        let interferers: Vec<usize> = (0..self.transmissions.len())
-            .filter(|&ti| ti != fi)
-            .filter(|&ti| {
-                let t = &self.transmissions[ti];
-                t.overlaps(f) && topo.in_range(receiver, t.frame.src)
-            })
-            .collect();
+        interferers.clear();
+        interferers.extend((0..self.transmissions.len()).filter(|&ti| {
+            if ti == fi {
+                return false;
+            }
+            let t = &self.transmissions[ti];
+            t.overlaps(f) && topo.in_range(receiver, t.frame.src)
+        }));
         if interferers.is_empty() {
             if self.fer > 0.0 && rng.random::<f64>() < self.fer {
                 outcome.frame_errors.push(receiver);

@@ -14,7 +14,7 @@
 //! the canonical slotted-CSMA collision mechanism.
 
 use crate::capture::Capture;
-use crate::channel::Channel;
+use crate::channel::{Channel, SlotOutcome};
 use crate::frame::Frame;
 use crate::ids::{NodeId, Slot};
 use crate::topology::Topology;
@@ -69,6 +69,22 @@ pub trait Station {
     /// Called once per slot, after receptions. The station may inspect
     /// carrier sense and queue transmissions starting this slot.
     fn on_slot(&mut self, ctx: &mut Ctx<'_>);
+
+    /// Event-horizon hint: the earliest slot after `now` (the slot whose
+    /// `on_slot` just ran) at which this station next needs an `on_slot`
+    /// call, **assuming the medium stays idle at the station and no
+    /// frame is delivered to it in between**. `None` means the station
+    /// has nothing self-scheduled at all. Returning an earlier slot than
+    /// necessary is always safe; returning a later one (or `None` while
+    /// a countdown is pending) breaks the protocol, because
+    /// [`Engine::advance_to`] skips the station's `on_slot` for every
+    /// slot before the earliest hint while the channel is quiescent.
+    ///
+    /// The default — wake every slot — makes fast-forwarding a no-op for
+    /// stations that don't opt in, so it is always bit-exact.
+    fn next_wakeup(&self, now: Slot) -> Option<Slot> {
+        Some(now + 1)
+    }
 }
 
 /// The slotted simulation engine: topology + channel + clock.
@@ -79,6 +95,12 @@ pub struct Engine {
     rng: SmallRng,
     trace: Option<Trace>,
     outbox: Vec<Frame>,
+    /// Per-slot carrier-sense bitmap, reused across slots.
+    busy_map: Vec<bool>,
+    /// Per-slot resolution outcome, reused across slots.
+    outcome: SlotOutcome,
+    /// Slots fast-forwarded over by [`Engine::advance_to`] (monotone).
+    slots_skipped: u64,
 }
 
 impl Engine {
@@ -92,6 +114,9 @@ impl Engine {
             rng: SmallRng::seed_from_u64(seed),
             trace: None,
             outbox: Vec::new(),
+            busy_map: Vec::new(),
+            outcome: SlotOutcome::default(),
+            slots_skipped: 0,
         }
     }
 
@@ -120,6 +145,13 @@ impl Engine {
         self.now
     }
 
+    /// Total slots fast-forwarded over by [`Engine::advance_to`] so far.
+    /// Skipped slots still advance the clock and the idle accounting;
+    /// they just never reach the stations.
+    pub fn slots_skipped(&self) -> u64 {
+        self.slots_skipped
+    }
+
     /// The network topology.
     pub fn topology(&self) -> &Topology {
         &self.topo
@@ -145,17 +177,22 @@ impl Engine {
         debug_assert_eq!(stations.len(), self.topo.len());
         let now = self.now;
 
+        // Carrier sense for the whole slot, computed once: phases 1 and 2
+        // both read the same per-node predicate for the same slot.
+        self.channel.busy_map(now, &self.topo, &mut self.busy_map);
+
         // Phase 1: resolve frames ending now and deliver them.
-        let outcome = self.channel.resolve_ended(now, &self.topo, &mut self.rng);
+        self.channel
+            .resolve_ended_into(now, &self.topo, &mut self.rng, &mut self.outcome);
         if let Some(trace) = &mut self.trace {
-            for c in &outcome.collisions {
+            for c in &self.outcome.collisions {
                 trace.push(TraceEvent::Collision {
                     slot: now,
                     node: c.receiver,
                     senders: c.senders.clone(),
                 });
             }
-            for r in &outcome.receptions {
+            for r in &self.outcome.receptions {
                 trace.push(TraceEvent::RxOk {
                     slot: now,
                     node: r.receiver,
@@ -165,15 +202,14 @@ impl Engine {
                 });
             }
         }
-        self.channel.count_collisions(outcome.collisions.len());
-        self.channel.frame_errors_total += outcome.frame_errors.len() as u64;
-        for rec in &outcome.receptions {
+        self.channel.count_collisions(self.outcome.collisions.len());
+        self.channel.frame_errors_total += self.outcome.frame_errors.len() as u64;
+        for rec in &self.outcome.receptions {
             let node = rec.receiver;
-            let busy = self.channel.busy_prev_slot(node, now, &self.topo);
             let mut ctx = Ctx {
                 now,
                 node,
-                busy,
+                busy: self.busy_map[node.index()],
                 out: &mut self.outbox,
                 sink: self.trace.as_mut().map(|t| t as &mut dyn EventSink),
             };
@@ -183,11 +219,10 @@ impl Engine {
         // Phase 2: per-slot decisions.
         for (i, station) in stations.iter_mut().enumerate() {
             let node = NodeId(i as u32);
-            let busy = self.channel.busy_prev_slot(node, now, &self.topo);
             let mut ctx = Ctx {
                 now,
                 node,
-                busy,
+                busy: self.busy_map[i],
                 out: &mut self.outbox,
                 sink: self.trace.as_mut().map(|t| t as &mut dyn EventSink),
             };
@@ -208,11 +243,56 @@ impl Engine {
         self.now = now + 1;
     }
 
-    /// Runs `slots` steps.
+    /// Runs `slots` steps, one by one (the naive reference stepper).
     pub fn run<S: Station>(&mut self, stations: &mut [S], slots: Slot) {
         for _ in 0..slots {
             self.step(stations);
         }
+    }
+
+    /// Advances the clock to `target`, fast-forwarding through dead air.
+    ///
+    /// After each processed slot, if the channel is quiescent (nothing
+    /// on the air or still resolvable anywhere in the network), the
+    /// clock jumps straight to the earliest [`Station::next_wakeup`]
+    /// hint, clamped to `target`. Skipped slots are provably idle for
+    /// every station — no receptions, no busy carrier sense, no channel
+    /// RNG draws — so stations that honor the hint contract observe
+    /// exactly the slot sequence naive stepping would have given them,
+    /// and the run is bit-exact with [`Engine::run`].
+    ///
+    /// Callers that inject external events (traffic arrivals, topology
+    /// changes) must advance to the event's slot first, apply it, then
+    /// continue — see the workload runner.
+    pub fn advance_to<S: Station>(&mut self, stations: &mut [S], target: Slot) {
+        while self.now < target {
+            self.step(stations);
+            if self.now >= target || !self.channel.quiescent_at(self.now) {
+                continue;
+            }
+            // Hints are relative to the slot the stations last saw.
+            let prev = self.now - 1;
+            let mut horizon = target;
+            for station in stations.iter() {
+                let Some(wake) = station.next_wakeup(prev) else {
+                    continue;
+                };
+                debug_assert!(wake > prev, "wakeup hint not after the hinted slot");
+                horizon = horizon.min(wake.max(self.now));
+                if horizon == self.now {
+                    break;
+                }
+            }
+            self.slots_skipped += horizon - self.now;
+            self.now = horizon;
+        }
+    }
+
+    /// Runs `slots` slots' worth of simulated time using the
+    /// event-horizon fast path (see [`Engine::advance_to`]).
+    pub fn run_fast<S: Station>(&mut self, stations: &mut [S], slots: Slot) {
+        let target = self.now + slots;
+        self.advance_to(stations, target);
     }
 }
 
@@ -362,6 +442,95 @@ mod tests {
             st[1].busy_log,
             vec![false, true, true, true, true, true, false, false]
         );
+    }
+
+    /// Periodic station: wants `on_slot` only at multiples of `period`,
+    /// optionally transmitting a scripted frame first.
+    struct Dozer {
+        period: Slot,
+        seen: Vec<Slot>,
+        plan: Vec<(Slot, Frame)>,
+    }
+
+    impl Dozer {
+        fn new(period: Slot) -> Self {
+            Dozer {
+                period,
+                seen: Vec::new(),
+                plan: Vec::new(),
+            }
+        }
+    }
+
+    impl Station for Dozer {
+        fn on_receive(&mut self, _frame: &Frame, _captured: bool, _ctx: &mut Ctx<'_>) {}
+        fn on_slot(&mut self, ctx: &mut Ctx<'_>) {
+            self.seen.push(ctx.now);
+            while let Some(pos) = self.plan.iter().position(|(s, _)| *s == ctx.now) {
+                let (_, frame) = self.plan.remove(pos);
+                ctx.send(frame);
+            }
+        }
+        fn next_wakeup(&self, now: Slot) -> Option<Slot> {
+            Some((now / self.period + 1) * self.period)
+        }
+    }
+
+    #[test]
+    fn fast_path_skips_dead_air_between_wakeups() {
+        let mut eng = Engine::new(pair_topo(), Capture::None, 1);
+        let mut st = vec![Dozer::new(10), Dozer::new(10)];
+        eng.run_fast(&mut st, 30);
+        assert_eq!(eng.now(), 30);
+        assert_eq!(st[0].seen, vec![0, 10, 20]);
+        assert_eq!(st[1].seen, vec![0, 10, 20]);
+        assert_eq!(eng.slots_skipped(), 27);
+    }
+
+    #[test]
+    fn fast_path_never_skips_while_frames_are_on_the_air() {
+        let mut eng = Engine::new(pair_topo(), Capture::None, 1);
+        let mut a = Dozer::new(10);
+        // A 3-slot data frame at slot 0 keeps the channel non-quiescent
+        // through slot 3 (resolution slot), forcing naive stepping there
+        // even though the hint asks for slot 10.
+        a.plan.push((
+            0,
+            Frame::data(
+                NodeId(0),
+                Dest::Node(NodeId(1)),
+                0,
+                MsgId::new(NodeId(0), 0),
+                3,
+            ),
+        ));
+        let mut st = vec![a, Dozer::new(10)];
+        eng.run_fast(&mut st, 30);
+        assert_eq!(st[0].seen, vec![0, 1, 2, 3, 10, 20]);
+        assert_eq!(st[1].seen, vec![0, 1, 2, 3, 10, 20]);
+    }
+
+    #[test]
+    fn fast_path_is_inert_for_default_hint_stations() {
+        let plan = vec![(0, rts(0, 1)), (7, rts(0, 1))];
+        let mk = |plan: Vec<(Slot, Frame)>| {
+            vec![
+                Scripted {
+                    plan,
+                    ..Default::default()
+                },
+                Scripted::default(),
+            ]
+        };
+        let mut naive = Engine::new(pair_topo(), Capture::None, 1);
+        let mut st_naive = mk(plan.clone());
+        naive.run(&mut st_naive, 12);
+        let mut fast = Engine::new(pair_topo(), Capture::None, 1);
+        let mut st_fast = mk(plan);
+        fast.run_fast(&mut st_fast, 12);
+        assert_eq!(fast.slots_skipped(), 0, "default hint wakes every slot");
+        assert_eq!(st_naive[1].heard, st_fast[1].heard);
+        assert_eq!(st_naive[1].busy_log, st_fast[1].busy_log);
     }
 
     #[test]

@@ -48,9 +48,18 @@ pub struct RunResult {
     pub manifest: RunManifest,
 }
 
-/// Executes one seeded run of `scenario` under `protocol`.
+/// Executes one seeded run of `scenario` under `protocol`, using the
+/// engine's event-horizon fast path (bit-exact with naive stepping; see
+/// [`run_one_naive`]).
 pub fn run_one(scenario: &Scenario, protocol: ProtocolKind, seed: u64) -> RunResult {
-    run_one_impl(scenario, protocol, seed, false).0
+    run_one_impl(scenario, protocol, seed, false, true).0
+}
+
+/// [`run_one`] with naive slot-by-slot stepping. Reference
+/// implementation for the differential determinism suite; produces a
+/// byte-identical result (modulo wall-clock provenance).
+pub fn run_one_naive(scenario: &Scenario, protocol: ProtocolKind, seed: u64) -> RunResult {
+    run_one_impl(scenario, protocol, seed, false, false).0
 }
 
 /// [`run_one`] with event tracing enabled: returns the result together
@@ -61,7 +70,18 @@ pub fn run_one_traced(
     protocol: ProtocolKind,
     seed: u64,
 ) -> (RunResult, Trace) {
-    let (result, trace) = run_one_impl(scenario, protocol, seed, true);
+    let (result, trace) = run_one_impl(scenario, protocol, seed, true, true);
+    (result, trace.expect("tracing was enabled"))
+}
+
+/// [`run_one_traced`] with naive slot-by-slot stepping (the reference
+/// for differential testing).
+pub fn run_one_traced_naive(
+    scenario: &Scenario,
+    protocol: ProtocolKind,
+    seed: u64,
+) -> (RunResult, Trace) {
+    let (result, trace) = run_one_impl(scenario, protocol, seed, true, false);
     (result, trace.expect("tracing was enabled"))
 }
 
@@ -70,6 +90,7 @@ fn run_one_impl(
     protocol: ProtocolKind,
     seed: u64,
     traced: bool,
+    fast: bool,
 ) -> (RunResult, Option<Trace>) {
     let t_setup = Instant::now();
     let topo = uniform_square(scenario.n_nodes, scenario.radius, seed);
@@ -110,12 +131,27 @@ fn run_one_impl(
     let setup_us = t_setup.elapsed().as_micros() as u64;
 
     let t_simulate = Instant::now();
+    // The traffic stream is drawn per slot either way (stream identity);
+    // the fast path only wakes the engine for slots with arrivals and
+    // lets `advance_to` fast-forward the dead air in between.
     for t in 0..scenario.sim_slots {
         traffic.tick(engine.topology(), t, &mut arrivals);
-        for a in &arrivals {
-            nodes[a.node.index()].enqueue(a.kind, a.receivers.clone(), t);
+        if fast {
+            if !arrivals.is_empty() {
+                engine.advance_to(&mut nodes, t);
+                for a in &arrivals {
+                    nodes[a.node.index()].enqueue(a.kind, a.receivers.clone(), t);
+                }
+            }
+        } else {
+            for a in &arrivals {
+                nodes[a.node.index()].enqueue(a.kind, a.receivers.clone(), t);
+            }
+            engine.step(&mut nodes);
         }
-        engine.step(&mut nodes);
+    }
+    if fast {
+        engine.advance_to(&mut nodes, scenario.sim_slots);
     }
     for node in &mut nodes {
         node.drain_unfinished(scenario.sim_slots);
@@ -194,6 +230,27 @@ pub fn run_mobile(
     mobility: MobilityConfig,
     seed: u64,
 ) -> RunResult {
+    run_mobile_impl(scenario, protocol, mobility, seed, true)
+}
+
+/// [`run_mobile`] with naive slot-by-slot stepping (the reference for
+/// differential testing).
+pub fn run_mobile_naive(
+    scenario: &Scenario,
+    protocol: ProtocolKind,
+    mobility: MobilityConfig,
+    seed: u64,
+) -> RunResult {
+    run_mobile_impl(scenario, protocol, mobility, seed, false)
+}
+
+fn run_mobile_impl(
+    scenario: &Scenario,
+    protocol: ProtocolKind,
+    mobility: MobilityConfig,
+    seed: u64,
+    fast: bool,
+) -> RunResult {
     let t_setup = Instant::now();
     let initial = uniform_square(scenario.n_nodes, scenario.radius, seed);
     let mut waypoint = RandomWaypoint::new(initial.positions().to_vec(), mobility, seed);
@@ -223,11 +280,19 @@ pub fn run_mobile(
     let t_simulate = Instant::now();
     for t in 0..scenario.sim_slots {
         if t > 0 && t % mobility.update_period == 0 {
+            // External events must land at their exact slot: catch the
+            // engine up before mutating the world it simulates.
+            if fast {
+                engine.advance_to(&mut nodes, t);
+            }
             waypoint.step(mobility.update_period);
             true_topo = waypoint.topology(scenario.radius);
             engine.set_topology(true_topo.clone());
         }
         if t > 0 && t % mobility.beacon_period == 0 {
+            if fast {
+                engine.advance_to(&mut nodes, t);
+            }
             beacon_topo = true_topo.clone();
             let advertised = Arc::new(beacon_topo.positions().to_vec());
             for node in &mut nodes {
@@ -237,10 +302,18 @@ pub fn run_mobile(
         // Requests are addressed to the neighbors the sender *believes*
         // it has — the beacon view, not the ground truth.
         traffic.tick(&beacon_topo, t, &mut arrivals);
+        if fast && !arrivals.is_empty() {
+            engine.advance_to(&mut nodes, t);
+        }
         for a in &arrivals {
             nodes[a.node.index()].enqueue(a.kind, a.receivers.clone(), t);
         }
-        engine.step(&mut nodes);
+        if !fast {
+            engine.step(&mut nodes);
+        }
+    }
+    if fast {
+        engine.advance_to(&mut nodes, scenario.sim_slots);
     }
     for node in &mut nodes {
         node.drain_unfinished(scenario.sim_slots);

@@ -1,0 +1,143 @@
+//! Differential determinism suite for the event-horizon fast path.
+//!
+//! [`run_one`] steps the engine with `Engine::advance_to`, which
+//! fast-forwards through dead air using `Station::next_wakeup` hints;
+//! [`run_one_naive`] steps every slot. The two must be **bit-exact**:
+//! identical `RunResult`s (modulo wall-clock provenance), identical
+//! trace event streams, and identical `MetricsRegistry` output — for
+//! every protocol kind, across seeds, in both calm and saturated
+//! networks, and under mobility.
+
+use rmm_mac::ProtocolKind;
+use rmm_sim::Trace;
+use rmm_workload::{
+    collect_metrics, run_mobile, run_mobile_naive, run_one_traced, run_one_traced_naive,
+    MobilityConfig, PhaseTimings, RunResult, Scenario,
+};
+
+const SEEDS: [u64; 5] = [1, 2, 3, 5, 8];
+
+const ALL_PROTOCOLS: [ProtocolKind; 8] = [
+    ProtocolKind::Ieee80211,
+    ProtocolKind::TangGerla,
+    ProtocolKind::Bsma,
+    ProtocolKind::Bmw,
+    ProtocolKind::Bmmm,
+    ProtocolKind::Lamm,
+    ProtocolKind::LeaderBased,
+    ProtocolKind::BmmmUncoordinated,
+];
+
+/// Serializes a result with the (nondeterministic) wall-clock phase
+/// timings zeroed, so equality means byte-identical simulation output.
+fn canonical(mut r: RunResult) -> String {
+    r.manifest.wall_clock = PhaseTimings::default();
+    serde_json::to_string(&r).expect("RunResult serializes")
+}
+
+fn assert_bit_exact(
+    scenario: &Scenario,
+    protocol: ProtocolKind,
+    seed: u64,
+    label: &str,
+) -> (RunResult, Trace) {
+    let (fast, fast_trace) = run_one_traced(scenario, protocol, seed);
+    let (naive, naive_trace) = run_one_traced_naive(scenario, protocol, seed);
+    assert_eq!(
+        fast_trace.events(),
+        naive_trace.events(),
+        "[{label}] {protocol:?} seed {seed}: trace diverged"
+    );
+    assert_eq!(
+        canonical(fast.clone()),
+        canonical(naive),
+        "[{label}] {protocol:?} seed {seed}: RunResult diverged"
+    );
+    let fast_metrics = collect_metrics(fast_trace.events(), &fast.messages);
+    let naive_metrics = collect_metrics(naive_trace.events(), &fast.messages);
+    assert_eq!(
+        serde_json::to_string(&fast_metrics).expect("registry serializes"),
+        serde_json::to_string(&naive_metrics).expect("registry serializes"),
+        "[{label}] {protocol:?} seed {seed}: metrics diverged"
+    );
+    (fast, fast_trace)
+}
+
+/// Every protocol kind, ≥5 seeds, moderate load: the headline guarantee.
+#[test]
+fn fast_stepping_is_bit_exact_for_all_protocols() {
+    let scenario = Scenario {
+        n_nodes: 25,
+        sim_slots: 1_500,
+        n_runs: 1,
+        msg_rate: 2e-3,
+        ..Scenario::default()
+    };
+    let mut traffic_seen = false;
+    for protocol in ALL_PROTOCOLS {
+        for seed in SEEDS {
+            let (result, _) = assert_bit_exact(&scenario, protocol, seed, "load");
+            traffic_seen |= !result.messages.is_empty();
+        }
+    }
+    assert!(traffic_seen, "suite exercised no traffic at all");
+}
+
+/// Idle-dominated runs are where the fast path actually skips: long
+/// gaps between arrivals stress the contention/NAV replay math.
+#[test]
+fn fast_stepping_is_bit_exact_when_idle_dominated() {
+    let scenario = Scenario {
+        n_nodes: 30,
+        sim_slots: 6_000,
+        n_runs: 1,
+        msg_rate: 1e-4,
+        ..Scenario::default()
+    };
+    for protocol in [ProtocolKind::Bmmm, ProtocolKind::Bsma, ProtocolKind::Bmw] {
+        for seed in [11, 12] {
+            assert_bit_exact(&scenario, protocol, seed, "idle");
+        }
+    }
+}
+
+/// Channel imperfections (frame errors, capture) draw from the engine
+/// RNG; skipping a slot that consumed a draw would desynchronize the
+/// stream and everything after it.
+#[test]
+fn fast_stepping_preserves_channel_rng_stream() {
+    let scenario = Scenario {
+        n_nodes: 25,
+        sim_slots: 2_000,
+        n_runs: 1,
+        msg_rate: 1e-3,
+        fer: 0.05,
+        ..Scenario::default()
+    };
+    for seed in [21, 22, 23] {
+        assert_bit_exact(&scenario, ProtocolKind::Bmmm, seed, "fer");
+    }
+}
+
+/// Mobility injects topology swaps and beacon refreshes mid-run; the
+/// fast path must land the engine on exactly those slots.
+#[test]
+fn fast_stepping_is_bit_exact_under_mobility() {
+    let scenario = Scenario {
+        n_nodes: 25,
+        sim_slots: 2_000,
+        n_runs: 1,
+        msg_rate: 1e-3,
+        ..Scenario::default()
+    };
+    let mobility = MobilityConfig::default();
+    for seed in [31, 32] {
+        let fast = run_mobile(&scenario, ProtocolKind::Bmmm, mobility, seed);
+        let naive = run_mobile_naive(&scenario, ProtocolKind::Bmmm, mobility, seed);
+        assert_eq!(
+            canonical(fast),
+            canonical(naive),
+            "mobile seed {seed}: RunResult diverged"
+        );
+    }
+}
