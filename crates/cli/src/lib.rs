@@ -17,6 +17,7 @@
 //! registry derived from it.
 
 use rmm::mac::ProtocolKind;
+use rmm::sim::{FaultPlan, GilbertElliott};
 use rmm::stats::{Summary, Table};
 use rmm::workload::{
     collect_metrics, mean_group_metrics, run_many_seeded, run_one_traced, Scenario,
@@ -105,6 +106,7 @@ pub fn parse_protocol(name: &str) -> Option<ProtocolKind> {
         "bmmm" => Some(ProtocolKind::Bmmm),
         "lamm" => Some(ProtocolKind::Lamm),
         "leader" | "leader-based" | "kk" => Some(ProtocolKind::LeaderBased),
+        "uncoord" | "bmmm-uncoord" | "bmmm-uncoordinated" => Some(ProtocolKind::BmmmUncoordinated),
         _ => None,
     }
 }
@@ -177,6 +179,23 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
                         scenario.fer = parse_num(&rest, i, "--fer")?;
                         i += 2;
                     }
+                    "--faults" => {
+                        let v = value(&rest, i, "--faults")?;
+                        scenario.faults = FaultPlan::parse(&v).map_err(CliError::BadValue)?;
+                        i += 2;
+                    }
+                    "--burst-fer" => {
+                        let v = value(&rest, i, "--burst-fer")?;
+                        scenario.burst = Some(
+                            parse_burst(&v)
+                                .ok_or_else(|| CliError::BadValue(format!("--burst-fer {v}")))?,
+                        );
+                        i += 2;
+                    }
+                    "--stall-window" => {
+                        scenario.stall_window = Some(parse_num(&rest, i, "--stall-window")?);
+                        i += 2;
+                    }
                     "--seed" => {
                         seed = parse_num(&rest, i, "--seed")?;
                         i += 2;
@@ -230,6 +249,14 @@ fn parse_num<T: std::str::FromStr>(rest: &[String], i: usize, flag: &str) -> Res
         .ok_or_else(|| CliError::BadValue(flag.into()))
 }
 
+/// Parses a `--burst-fer p,r` value into a Gilbert–Elliott model.
+fn parse_burst(v: &str) -> Option<GilbertElliott> {
+    let (p, r) = v.split_once(',')?;
+    let p: f64 = p.trim().parse().ok()?;
+    let r: f64 = r.trim().parse().ok()?;
+    ((0.0..=1.0).contains(&p) && (0.0..=1.0).contains(&r)).then_some(GilbertElliott { p, r })
+}
+
 /// Renders one protocol's results.
 pub fn render_run(protocol: ProtocolKind, scenario: &Scenario, seed: u64, json: bool) -> String {
     let results = run_many_seeded(scenario, protocol, seed);
@@ -239,6 +266,7 @@ pub fn render_run(protocol: ProtocolKind, scenario: &Scenario, seed: u64, json: 
         .map(|r| r.group_metrics.delivery_rate)
         .collect();
     let ci = Summary::of(&delivery);
+    let stalls: usize = results.iter().map(|r| r.stalls.len()).sum();
     if json {
         serde_json::json!({
             "protocol": protocol.name(),
@@ -247,6 +275,9 @@ pub fn render_run(protocol: ProtocolKind, scenario: &Scenario, seed: u64, json: 
             "delivery_rate": { "mean": ci.mean, "ci95": ci.ci95 },
             "avg_contention_phases": m.avg_contention_phases,
             "avg_completion_time": m.avg_completion_time,
+            "avg_delivered_frac": m.avg_delivered_frac,
+            "avg_reachable_frac": m.avg_reachable_frac,
+            "stalls": stalls,
             "utilization": results.iter().map(|r| r.utilization).sum::<f64>() / results.len() as f64,
             "reliable": protocol.is_reliable(),
         })
@@ -271,6 +302,15 @@ pub fn render_run(protocol: ProtocolKind, scenario: &Scenario, seed: u64, json: 
                 results.iter().map(|r| r.utilization).sum::<f64>() / results.len() as f64
             ),
         ]);
+        if !scenario.faults.is_empty() {
+            t.row([
+                "delivered frac (reachable)".to_string(),
+                format!("{:.3}", m.avg_reachable_frac),
+            ]);
+        }
+        if scenario.stall_window.is_some() {
+            t.row(["watchdog stalls".to_string(), stalls.to_string()]);
+        }
         t.row([
             "reliable protocol".to_string(),
             if protocol.is_reliable() { "yes" } else { "no" }.to_string(),
@@ -378,7 +418,7 @@ pub const USAGE: &str = "\
 rmm — reliable 802.11 multicast MAC simulator (BMMM / LAMM, ICPP 2002)
 
 usage:
-  rmm run --protocol <802.11|tg|bsma|bmw|bmmm|lamm|leader> [options]
+  rmm run --protocol <802.11|tg|bsma|bmw|bmmm|lamm|leader|uncoord> [options]
   rmm compare [options]
   rmm trace --protocol <name> [options]   # one traced run, JSONL events
   rmm config              # print a scenario JSON template
@@ -387,6 +427,9 @@ options:
   --config <file.json>    load a Scenario (JSON); flags below override it
   --nodes N  --slots N  --rate X  --timeout N  --runs N
   --threshold X  --fer X  --seed N  --json
+  --faults <spec>         inject node faults, e.g. crash:5@1000;deaf:3@200..800;mute:7@0..500
+  --burst-fer p,r         Gilbert-Elliott burst-error channel (G->B prob p, B->G prob r)
+  --stall-window N        liveness watchdog: report senders with no tx for N slots
   --trace-out <file>      write the traced run's events as JSON Lines
                           (run/trace; trace prints to stdout by default)
   --metrics-out <file>    write trace-derived counters/histograms as JSON
@@ -485,6 +528,34 @@ mod tests {
         assert!(matches!(
             parse_args(args("compare --seed 5 --metrics-out m.json")),
             Ok(Command::Compare { seed: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn parse_fault_flags() {
+        let cmd = parse_args(args(
+            "run --protocol bmmm --faults crash:5@1000;deaf:3@200..800 \
+             --burst-fer 0.05,0.25 --stall-window 500",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Run { scenario, .. } => {
+                assert_eq!(scenario.faults.faults.len(), 2);
+                assert_eq!(scenario.faults.spec(), "crash:5@1000;deaf:3@200..800");
+                let burst = scenario.burst.unwrap();
+                assert_eq!(burst.p, 0.05);
+                assert_eq!(burst.r, 0.25);
+                assert_eq!(scenario.stall_window, Some(500));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(
+            parse_args(args("run --protocol bmmm --faults bogus:1@2")),
+            Err(CliError::BadValue(_))
+        ));
+        assert!(matches!(
+            parse_args(args("run --protocol bmmm --burst-fer 2.0,0.5")),
+            Err(CliError::BadValue(_))
         ));
     }
 

@@ -7,9 +7,9 @@
 //!             (fig6/fig9/fig10 run both their (a) density and (b) rate axes;
 //!              the density and rate sweeps are shared across those figures
 //!              and executed once)
-//!             ext | overhead | fer | noise | mobility — extension
-//!             experiments beyond the paper's own figures (`ext` runs all
-//!             four; they are not part of `all`)
+//!             ext | overhead | fer | noise | mobility | faults —
+//!             extension experiments beyond the paper's own figures
+//!             (`ext` runs them all; they are not part of `all`)
 //! ```
 
 mod common;
@@ -24,7 +24,7 @@ use common::Options;
 fn usage() -> ! {
     eprintln!(
         "usage: experiments [all|table1|fig2|fig5|fig6|fig7|fig8|fig9|fig10|\
-         ext|overhead|fer|noise|mobility|route ...] \
+         ext|overhead|fer|noise|mobility|route|faults ...] \
          [--runs N] [--slots N] [--out DIR] [--quick]"
     );
     std::process::exit(2);
@@ -98,6 +98,9 @@ fn main() {
     }
     if has_ext("route") {
         extensions::route(&options);
+    }
+    if has_ext("faults") {
+        extensions::faults(&options);
     }
     eprintln!("\n[experiments done in {:.1?}]", t0.elapsed());
 }

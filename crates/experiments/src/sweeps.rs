@@ -123,7 +123,7 @@ pub fn density_sweep(options: &Options) {
         options,
         "nodes",
         &counts,
-        |base, x| base.with_nodes(x as usize),
+        |base, x| base.clone().with_nodes(x as usize),
         Some((
             "fig6a",
             "Figure 6a: successful delivery rate vs nodal density \
@@ -150,7 +150,7 @@ pub fn rate_sweep(options: &Options) {
         options,
         "rate",
         &rates,
-        |base, x| base.with_rate(x),
+        |base, x| base.clone().with_rate(x),
         Some((
             "fig6b",
             "Figure 6b: successful delivery rate vs message generation rate",
@@ -174,7 +174,7 @@ pub fn fig7(options: &Options) {
         options,
         "timeout",
         &timeouts,
-        |base, x| base.with_timeout(x as u64),
+        |base, x| base.clone().with_timeout(x as u64),
         Some((
             "fig7",
             "Figure 7: successful delivery rate vs timeout \

@@ -97,6 +97,10 @@ struct Active {
     fsm: Fsm,
     data_tx: u32,
     control_tx: u32,
+    /// Consecutive failed recontentions (`reset_cw: false`); cleared by
+    /// forward progress (`reset_cw: true`). Capped at
+    /// `timing.retry_limit` for every protocol, mirroring DCF.
+    retries: u32,
 }
 
 /// A complete MAC station.
@@ -212,6 +216,15 @@ impl MacNode {
         self.queue.len() + usize::from(self.active.is_some())
     }
 
+    /// The message currently in service, if any, as
+    /// `(msg, arrival, service_start)`. Read by the workload liveness
+    /// watchdog to detect senders stuck on one message.
+    pub fn active_msg(&self) -> Option<(MsgId, Slot, Slot)> {
+        self.active
+            .as_ref()
+            .map(|a| (a.req.msg, a.req.arrival, a.started))
+    }
+
     /// Beacon refresh: adopts the current neighbor table and advertised
     /// position map, as a round of beacon exchanges would. Called by the
     /// mobile runner every beacon period; in-flight exchanges keep their
@@ -259,6 +272,7 @@ impl MacNode {
                 control_tx: 0,
                 acked: Vec::new(),
                 assumed_covered: Vec::new(),
+                gave_up: Vec::new(),
             });
         }
     }
@@ -276,6 +290,7 @@ impl MacNode {
             control_tx: active.control_tx,
             acked: active.fsm.acked().to_vec(),
             assumed_covered: active.fsm.assumed_covered().to_vec(),
+            gave_up: active.fsm.gave_up().to_vec(),
         });
     }
 
@@ -298,6 +313,7 @@ impl MacNode {
                     control_tx: 0,
                     acked: Vec::new(),
                     assumed_covered: Vec::new(),
+                    gave_up: Vec::new(),
                 });
                 continue;
             }
@@ -324,6 +340,7 @@ impl MacNode {
                 fsm,
                 data_tx: 0,
                 control_tx: 0,
+                retries: 0,
             });
             return;
         }
@@ -358,6 +375,19 @@ impl MacNode {
         match flow {
             Flow::Continue => self.active = Some(active),
             Flow::Recontend { reset_cw } => {
+                if reset_cw {
+                    active.retries = 0;
+                } else {
+                    // Retry ceiling for every protocol: DCF bounds its
+                    // own retries inside the FSM, but the multicast FSMs
+                    // recontend optimistically; without this cap a dead
+                    // neighborhood would retry forever.
+                    active.retries += 1;
+                    if active.retries > self.core.timing.retry_limit {
+                        self.finish(active, Outcome::Failed(ctx.now));
+                        return;
+                    }
+                }
                 active.cw = if reset_cw {
                     self.core.timing.cw_min
                 } else {

@@ -54,6 +54,10 @@ pub struct BmmmFsm {
     all_acked: Vec<NodeId>,
     /// Receivers LAMM closed via geometric coverage without an ACK.
     assumed_covered: Vec<NodeId>,
+    /// Completed batches each receiver has failed to be confirmed in.
+    misses: Vec<(NodeId, u32)>,
+    /// Receivers abandoned after `timing.dest_retry_limit` failed rounds.
+    gave_up: Vec<NodeId>,
 }
 
 impl BmmmFsm {
@@ -70,12 +74,89 @@ impl BmmmFsm {
             batch_acked: Vec::new(),
             all_acked: Vec::new(),
             assumed_covered: Vec::new(),
+            misses: Vec::new(),
+            gave_up: Vec::new(),
         }
     }
 
     /// Receivers that explicitly ACKed so far.
     pub fn acked(&self) -> &[NodeId] {
         &self.all_acked
+    }
+
+    /// Receivers abandoned after exhausting their retry budget.
+    pub fn gave_up(&self) -> &[NodeId] {
+        &self.gave_up
+    }
+
+    /// Records one more failed round for `dst` and returns the total.
+    fn charge(misses: &mut Vec<(NodeId, u32)>, dst: NodeId) -> u32 {
+        match misses.iter_mut().find(|(n, _)| *n == dst) {
+            Some((_, c)) => {
+                *c += 1;
+                *c
+            }
+            None => {
+                misses.push((dst, 1));
+                1
+            }
+        }
+    }
+
+    /// Charges one failed round to every receiver still outstanding and
+    /// prunes the ones whose per-destination budget is exhausted, so one
+    /// dead receiver costs a bounded number of batches.
+    fn prune_exhausted(&mut self, env: &mut Env<'_, '_>) {
+        let limit = env.timing().dest_retry_limit;
+        let (slot, node, msg) = (env.now(), env.core.id, env.req.msg);
+        let remaining = std::mem::take(&mut self.s_remaining);
+        let mut kept = Vec::with_capacity(remaining.len());
+        for dst in remaining {
+            let count = Self::charge(&mut self.misses, dst);
+            if count >= limit {
+                env.emit(|| TraceEvent::GiveUp {
+                    slot,
+                    node,
+                    msg,
+                    dst,
+                    after_retries: count,
+                });
+                self.gave_up.push(dst);
+            } else {
+                kept.push(dst);
+            }
+        }
+        self.s_remaining = kept;
+    }
+
+    /// A wholly silent poll train is a failed round for every receiver it
+    /// polled: charge their budgets and prune the exhausted ones, so a
+    /// batch of dead receivers cannot stall the message until the
+    /// node-level retry ceiling kills it. Returns whether any receiver
+    /// was given up on.
+    fn charge_silent_batch(&mut self, env: &mut Env<'_, '_>) -> bool {
+        let limit = env.timing().dest_retry_limit;
+        let (slot, node, msg) = (env.now(), env.core.id, env.req.msg);
+        let before = self.gave_up.len();
+        for i in 0..self.batch.len() {
+            let dst = self.batch[i];
+            if !self.s_remaining.contains(&dst) {
+                continue;
+            }
+            let count = Self::charge(&mut self.misses, dst);
+            if count >= limit {
+                env.emit(|| TraceEvent::GiveUp {
+                    slot,
+                    node,
+                    msg,
+                    dst,
+                    after_retries: count,
+                });
+                self.gave_up.push(dst);
+                self.s_remaining.retain(|n| *n != dst);
+            }
+        }
+        self.gave_up.len() > before
     }
 
     /// Receivers served by coverage (always empty for BMMM).
@@ -185,6 +266,7 @@ impl BmmmFsm {
         self.phase = Phase::Idle;
         self.all_acked.extend(self.batch_acked.iter().copied());
         self.s_remaining = self.next_remaining();
+        self.prune_exhausted(env);
         if self.s_remaining.is_empty() {
             Flow::Complete
         } else {
@@ -228,6 +310,7 @@ impl BmmmFsm {
             }
         }
         self.s_remaining = new_remaining;
+        self.prune_exhausted(env);
         if self.s_remaining.is_empty() {
             Flow::Complete
         } else {
@@ -263,9 +346,14 @@ impl BmmmFsm {
                     self.at = env.now() + Slot::from(t.data_slots);
                     Flow::Continue
                 } else {
-                    // No CTS at all: back off and restart the procedure.
+                    // No CTS at all: charge the silent batch, then back
+                    // off and restart the procedure.
                     self.phase = Phase::Idle;
-                    Flow::Recontend { reset_cw: false }
+                    let pruned = self.charge_silent_batch(env);
+                    if self.s_remaining.is_empty() {
+                        return Flow::Complete;
+                    }
+                    Flow::Recontend { reset_cw: pruned }
                 }
             }
             Phase::Sending => {

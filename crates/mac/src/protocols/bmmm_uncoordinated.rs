@@ -12,7 +12,7 @@
 //! real BMMM (see the `ablations` bench).
 
 use super::{Env, Flow};
-use rmm_sim::{Dest, Frame, FrameKind, NodeId, Slot};
+use rmm_sim::{Dest, Frame, FrameKind, NodeId, Slot, TraceEvent};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Phase {
@@ -36,6 +36,10 @@ pub struct BmmmUncoordFsm {
     cts_any: bool,
     batch_acked: Vec<NodeId>,
     all_acked: Vec<NodeId>,
+    /// Completed rounds each receiver has failed to be confirmed in.
+    misses: Vec<(NodeId, u32)>,
+    /// Receivers abandoned after `timing.dest_retry_limit` failed rounds.
+    gave_up: Vec<NodeId>,
 }
 
 impl BmmmUncoordFsm {
@@ -49,12 +53,86 @@ impl BmmmUncoordFsm {
             cts_any: false,
             batch_acked: Vec::new(),
             all_acked: Vec::new(),
+            misses: Vec::new(),
+            gave_up: Vec::new(),
         }
     }
 
     /// Receivers whose ACK survived capture so far.
     pub fn acked(&self) -> &[NodeId] {
         &self.all_acked
+    }
+
+    /// Receivers abandoned after exhausting their retry budget.
+    pub fn gave_up(&self) -> &[NodeId] {
+        &self.gave_up
+    }
+
+    /// Records one more failed round for `dst` and returns the total.
+    fn charge(misses: &mut Vec<(NodeId, u32)>, dst: NodeId) -> u32 {
+        match misses.iter_mut().find(|(n, _)| *n == dst) {
+            Some((_, c)) => {
+                *c += 1;
+                *c
+            }
+            None => {
+                misses.push((dst, 1));
+                1
+            }
+        }
+    }
+
+    /// Same per-destination budget as BMMM: charge one failed round to
+    /// every still-outstanding receiver; prune the exhausted ones.
+    fn prune_exhausted(&mut self, env: &mut Env<'_, '_>) {
+        let limit = env.timing().dest_retry_limit;
+        let (slot, node, msg) = (env.now(), env.core.id, env.req.msg);
+        let remaining = std::mem::take(&mut self.s_remaining);
+        let mut kept = Vec::with_capacity(remaining.len());
+        for dst in remaining {
+            let count = Self::charge(&mut self.misses, dst);
+            if count >= limit {
+                env.emit(|| TraceEvent::GiveUp {
+                    slot,
+                    node,
+                    msg,
+                    dst,
+                    after_retries: count,
+                });
+                self.gave_up.push(dst);
+            } else {
+                kept.push(dst);
+            }
+        }
+        self.s_remaining = kept;
+    }
+
+    /// A wholly silent poll train is a failed round for every receiver it
+    /// polled: charge their budgets and prune the exhausted ones (same
+    /// rationale as BMMM). Returns whether any receiver was given up on.
+    fn charge_silent_batch(&mut self, env: &mut Env<'_, '_>) -> bool {
+        let limit = env.timing().dest_retry_limit;
+        let (slot, node, msg) = (env.now(), env.core.id, env.req.msg);
+        let before = self.gave_up.len();
+        for i in 0..self.batch.len() {
+            let dst = self.batch[i];
+            if !self.s_remaining.contains(&dst) {
+                continue;
+            }
+            let count = Self::charge(&mut self.misses, dst);
+            if count >= limit {
+                env.emit(|| TraceEvent::GiveUp {
+                    slot,
+                    node,
+                    msg,
+                    dst,
+                    after_retries: count,
+                });
+                self.gave_up.push(dst);
+                self.s_remaining.retain(|n| *n != dst);
+            }
+        }
+        self.gave_up.len() > before
     }
 
     fn send_rts(&mut self, i: usize, env: &mut Env<'_, '_>) {
@@ -107,14 +185,21 @@ impl BmmmUncoordFsm {
                     self.at = env.response_deadline(t.data_slots);
                     Flow::Continue
                 } else {
+                    // No CTS at all: charge the silent batch before
+                    // backing off.
                     self.phase = Phase::Idle;
-                    Flow::Recontend { reset_cw: false }
+                    let pruned = self.charge_silent_batch(env);
+                    if self.s_remaining.is_empty() {
+                        return Flow::Complete;
+                    }
+                    Flow::Recontend { reset_cw: pruned }
                 }
             }
             Phase::AwaitAckBurst => {
                 self.phase = Phase::Idle;
                 self.all_acked.extend(self.batch_acked.iter().copied());
                 self.s_remaining.retain(|n| !self.batch_acked.contains(n));
+                self.prune_exhausted(env);
                 if self.s_remaining.is_empty() {
                     Flow::Complete
                 } else {

@@ -9,7 +9,7 @@
 //! `have` flag suppresses the redundant data transmission.
 
 use super::{Env, Flow};
-use rmm_sim::{Dest, Frame, FrameInfo, FrameKind, NodeId, Slot};
+use rmm_sim::{Dest, Frame, FrameInfo, FrameKind, NodeId, Slot, TraceEvent};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Phase {
@@ -29,6 +29,10 @@ pub struct BmwFsm {
     phase: Phase,
     at: Slot,
     acked: Vec<NodeId>,
+    /// Failed exchanges against the current (front) target.
+    tries: u32,
+    /// Targets abandoned after `timing.dest_retry_limit` failed tries.
+    gave_up: Vec<NodeId>,
 }
 
 impl BmwFsm {
@@ -39,12 +43,19 @@ impl BmwFsm {
             phase: Phase::Idle,
             at: 0,
             acked: Vec::new(),
+            tries: 0,
+            gave_up: Vec::new(),
         }
     }
 
     /// Receivers confirmed so far (ACK or have-flagged CTS).
     pub fn acked(&self) -> &[NodeId] {
         &self.acked
+    }
+
+    /// Targets abandoned after exhausting their retry budget.
+    pub fn gave_up(&self) -> &[NodeId] {
+        &self.gave_up
     }
 
     /// Targets still to serve.
@@ -62,6 +73,7 @@ impl BmwFsm {
         let done = self.pending.remove(0);
         self.acked.push(done);
         self.phase = Phase::Idle;
+        self.tries = 0;
         if self.pending.is_empty() {
             Flow::Complete
         } else {
@@ -91,8 +103,30 @@ impl BmwFsm {
         if env.now() != self.at || self.phase == Phase::Idle {
             return Flow::Continue;
         }
-        // CTS or ACK missing: back off and retry the same target.
+        // CTS or ACK missing: back off and retry the same target, until
+        // its per-destination budget runs out — then abandon it (without
+        // marking it served) and move on so one dead receiver cannot
+        // monopolize the message.
         self.phase = Phase::Idle;
+        self.tries += 1;
+        if self.tries >= env.timing().dest_retry_limit {
+            let dst = self.pending.remove(0);
+            let (slot, node, msg, after_retries) =
+                (env.now(), env.core.id, env.req.msg, self.tries);
+            env.emit(|| TraceEvent::GiveUp {
+                slot,
+                node,
+                msg,
+                dst,
+                after_retries,
+            });
+            self.gave_up.push(dst);
+            self.tries = 0;
+            if self.pending.is_empty() {
+                return Flow::Complete;
+            }
+            return Flow::Recontend { reset_cw: true };
+        }
         Flow::Recontend { reset_cw: false }
     }
 

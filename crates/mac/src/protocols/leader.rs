@@ -18,7 +18,7 @@
 //! leader is the first receiver in the request's list.
 
 use super::{Env, Flow};
-use rmm_sim::{Dest, Frame, FrameKind, NodeId, Slot};
+use rmm_sim::{Dest, Frame, FrameKind, NodeId, Slot, TraceEvent};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Phase {
@@ -37,6 +37,12 @@ pub struct LeaderFsm {
     cts_ok: bool,
     ack_ok: bool,
     acked: Vec<NodeId>,
+    /// Consecutive failed attempts under the current leader.
+    tries: u32,
+    /// Leaders demoted after `timing.dest_retry_limit` failed attempts.
+    /// A dead leader would otherwise wedge the whole group; demoting it
+    /// rotates leadership to the next receiver in list order.
+    gave_up: Vec<NodeId>,
 }
 
 impl LeaderFsm {
@@ -48,6 +54,8 @@ impl LeaderFsm {
             cts_ok: false,
             ack_ok: false,
             acked: Vec::new(),
+            tries: 0,
+            gave_up: Vec::new(),
         }
     }
 
@@ -61,18 +69,62 @@ impl LeaderFsm {
         &self.acked
     }
 
+    /// Leaders abandoned after exhausting their retry budget.
+    pub fn gave_up(&self) -> &[NodeId] {
+        &self.gave_up
+    }
+
+    /// The request's receiver list minus demoted leaders, order
+    /// preserved. The front element is the current leader — receivers
+    /// apply the same `first()` convention to the group list carried by
+    /// each frame, so rotation needs no extra signalling.
+    fn group(&self, env: &Env<'_, '_>) -> Vec<NodeId> {
+        env.req
+            .receivers
+            .iter()
+            .copied()
+            .filter(|n| !self.gave_up.contains(n))
+            .collect()
+    }
+
+    /// One more failed attempt under the current leader: retry, or — once
+    /// the per-destination budget is spent — demote it and rotate.
+    fn fail_attempt(&mut self, env: &mut Env<'_, '_>) -> Flow {
+        self.phase = Phase::Idle;
+        self.tries += 1;
+        if self.tries < env.timing().dest_retry_limit {
+            return Flow::Recontend { reset_cw: false };
+        }
+        let group = self.group(env);
+        let (slot, node, msg, after_retries) = (env.now(), env.core.id, env.req.msg, self.tries);
+        if let Some(&dst) = group.first() {
+            env.emit(|| TraceEvent::GiveUp {
+                slot,
+                node,
+                msg,
+                dst,
+                after_retries,
+            });
+            self.gave_up.push(dst);
+        }
+        self.tries = 0;
+        if group.len() <= 1 {
+            // No receiver left to lead: the message is undeliverable.
+            Flow::Abort
+        } else {
+            Flow::Recontend { reset_cw: true }
+        }
+    }
+
     pub(super) fn on_access(&mut self, env: &mut Env<'_, '_>) -> Flow {
-        let Some(_leader) = Self::leader(&env.req.receivers) else {
+        let group = self.group(env);
+        let Some(_leader) = Self::leader(&group) else {
             return Flow::Complete;
         };
         let t = env.timing();
         self.cts_ok = false;
         self.ack_ok = false;
-        env.send_control(
-            FrameKind::Rts,
-            Dest::group(env.req.receivers.clone()),
-            t.dcf_rts_duration(),
-        );
+        env.send_control(FrameKind::Rts, Dest::group(group), t.dcf_rts_duration());
         self.phase = Phase::AwaitCts;
         self.at = env.response_deadline(t.control_slots);
         Flow::Continue
@@ -94,20 +146,20 @@ impl LeaderFsm {
                 if self.cts_ok {
                     let t = env.timing();
                     // Duration covers the ACK/jam slot after the data.
-                    env.send_data(Dest::group(env.req.receivers.clone()), t.control_slots);
+                    let group = self.group(env);
+                    env.send_data(Dest::group(group), t.control_slots);
                     self.phase = Phase::AwaitAck;
                     self.at = env.response_deadline(t.data_slots);
                     Flow::Continue
                 } else {
-                    self.phase = Phase::Idle;
-                    Flow::Recontend { reset_cw: false }
+                    self.fail_attempt(env)
                 }
             }
             Phase::AwaitAck => {
-                self.phase = Phase::Idle;
                 if self.ack_ok {
+                    self.phase = Phase::Idle;
                     // A clean leader ACK: no receiver jammed it.
-                    if let Some(leader) = Self::leader(&env.req.receivers) {
+                    if let Some(leader) = Self::leader(&self.group(env)) {
                         if !self.acked.contains(&leader) {
                             self.acked.push(leader);
                         }
@@ -115,7 +167,7 @@ impl LeaderFsm {
                     Flow::Complete
                 } else {
                     // Missing or jammed ACK: retransmit everything.
-                    Flow::Recontend { reset_cw: false }
+                    self.fail_attempt(env)
                 }
             }
             Phase::Idle => Flow::Continue,
@@ -126,7 +178,7 @@ impl LeaderFsm {
         if frame.msg != env.req.msg {
             return Flow::Continue;
         }
-        let leader = Self::leader(&env.req.receivers);
+        let leader = Self::leader(&self.group(env));
         match (self.phase, frame.kind) {
             (Phase::AwaitCts, FrameKind::Cts) if Some(frame.src) == leader => {
                 self.cts_ok = true;

@@ -329,4 +329,18 @@ impl Fsm {
             _ => &[],
         }
     }
+
+    /// Receivers abandoned after exhausting the per-destination retry
+    /// budget (`timing.dest_retry_limit`). Empty for protocols without
+    /// per-receiver service state (802.11, Tang–Gerla, BSMA, DCF) —
+    /// those are bounded by the node-level retry ceiling instead.
+    pub fn gave_up(&self) -> &[NodeId] {
+        match self {
+            Fsm::Bmw(f) => f.gave_up(),
+            Fsm::Bmmm(f) => f.gave_up(),
+            Fsm::Leader(f) => f.gave_up(),
+            Fsm::BmmmUncoord(f) => f.gave_up(),
+            Fsm::Dcf(_) | Fsm::Plain(_) | Fsm::Tang(_) | Fsm::Bsma(_) => &[],
+        }
+    }
 }

@@ -108,6 +108,9 @@ pub struct SentRecord {
     /// Receivers LAMM deemed served by geometric coverage rather than an
     /// explicit ACK (empty for every other protocol).
     pub assumed_covered: Vec<NodeId>,
+    /// Receivers the sender abandoned after exhausting the
+    /// per-destination retry budget (`timing.dest_retry_limit`).
+    pub gave_up: Vec<NodeId>,
 }
 
 impl SentRecord {
@@ -160,6 +163,7 @@ mod tests {
             control_tx: 4,
             acked: vec![NodeId(1)],
             assumed_covered: vec![],
+            gave_up: vec![],
         }
     }
 

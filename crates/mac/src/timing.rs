@@ -30,8 +30,17 @@ pub struct MacTiming {
     pub cw_min: u32,
     /// Contention window ceiling for binary exponential backoff.
     pub cw_max: u32,
-    /// DCF unicast retry limit before the frame is dropped.
+    /// DCF unicast retry limit before the frame is dropped. Also the
+    /// ceiling on *consecutive* failed recontentions for every other
+    /// protocol (enforced at the node level), so no FSM can retry
+    /// unboundedly.
     pub retry_limit: u32,
+    /// Per-destination retry budget for the reliable multicast
+    /// protocols: once a receiver has failed to confirm this many
+    /// service rounds, the sender gives up on it (emitting a `GiveUp`
+    /// trace event) and serves the rest of the group. `u32::MAX`
+    /// effectively disables the budget.
+    pub dest_retry_limit: u32,
     /// Message service timeout in slots (paper: 100), measured from the
     /// message's arrival at the MAC.
     pub timeout: u64,
@@ -50,6 +59,7 @@ impl Default for MacTiming {
             cw_min: 7,
             cw_max: 255,
             retry_limit: 7,
+            dest_retry_limit: 7,
             timeout: 100,
             nav_enabled: true,
         }

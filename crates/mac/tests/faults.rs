@@ -1,0 +1,267 @@
+//! Graceful degradation under injected faults: every multicast protocol
+//! with a per-destination retry budget must survive a crashed receiver —
+//! finish in bounded work, record the victim in `gave_up`, emit a
+//! `GiveUp` trace event, and never address the victim again afterwards.
+//! Protocols without per-destination state fall back to the node-level
+//! consecutive-retry ceiling (`timing.retry_limit`).
+
+use proptest::prelude::*;
+use rmm_geom::Point;
+use rmm_mac::{MacNode, MacTiming, Outcome, ProtocolKind, TrafficKind};
+use rmm_sim::{Capture, Engine, FaultPlan, NodeId, Topology, TraceEvent};
+
+/// A star: node 0 in the middle, `n` receivers around it, single cell.
+fn star(n: usize) -> Topology {
+    let mut pts = vec![Point::new(0.5, 0.5)];
+    for i in 0..n {
+        let a = i as f64 * std::f64::consts::TAU / n as f64;
+        pts.push(Point::new(0.5 + 0.05 * a.cos(), 0.5 + 0.05 * a.sin()));
+    }
+    Topology::new(pts, 0.2)
+}
+
+/// Protocols that carry a per-destination retry budget.
+const BUDGETED: [ProtocolKind; 5] = [
+    ProtocolKind::Bmw,
+    ProtocolKind::Bmmm,
+    ProtocolKind::Lamm,
+    ProtocolKind::LeaderBased,
+    ProtocolKind::BmmmUncoordinated,
+];
+
+struct Run {
+    nodes: Vec<MacNode>,
+    engine: Engine,
+}
+
+/// One multicast from node 0 to all receivers with `faults` injected.
+/// The service timeout is effectively disabled so termination comes from
+/// the retry budgets alone, not from the timeout.
+fn run_faulted(
+    protocol: ProtocolKind,
+    n_receivers: usize,
+    faults: FaultPlan,
+    slots: u64,
+    seed: u64,
+) -> Run {
+    let timing = MacTiming {
+        timeout: slots,
+        ..Default::default()
+    };
+    let topo = star(n_receivers);
+    let mut nodes = MacNode::build_network(&topo, protocol, timing, seed);
+    let mut engine = Engine::new(topo, Capture::ZorziRao, seed);
+    engine.set_faults(faults);
+    engine.enable_trace();
+    let receivers: Vec<NodeId> = (1..=n_receivers as u32).map(NodeId).collect();
+    nodes[0].enqueue(TrafficKind::Multicast, receivers, 0);
+    engine.run(&mut nodes, slots);
+    for node in &mut nodes {
+        node.drain_unfinished(slots);
+    }
+    Run { nodes, engine }
+}
+
+/// Give-up events emitted by node 0, as `(slot, dst, after_retries)`.
+fn give_ups(run: &Run) -> Vec<(u64, NodeId, u32)> {
+    run.engine
+        .trace()
+        .unwrap()
+        .events()
+        .iter()
+        .filter_map(|ev| match ev {
+            TraceEvent::GiveUp {
+                slot,
+                node,
+                dst,
+                after_retries,
+                ..
+            } if *node == NodeId(0) => Some((*slot, *dst, *after_retries)),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Whether node 0 addresses `dst` directly (unicast frame or poll)
+/// strictly after `after` in the trace.
+fn addressed_after(run: &Run, dst: NodeId, after: u64) -> bool {
+    run.engine
+        .trace()
+        .unwrap()
+        .events()
+        .iter()
+        .any(|ev| match ev {
+            TraceEvent::TxStart {
+                slot,
+                node,
+                dest: Some(d),
+                ..
+            } => *node == NodeId(0) && *d == dst && *slot > after,
+            TraceEvent::PollSent {
+                slot, node, target, ..
+            } => *node == NodeId(0) && *target == dst && *slot > after,
+            _ => false,
+        })
+}
+
+#[test]
+fn crashed_receiver_is_given_up_and_service_completes() {
+    let crashed = NodeId(1);
+    for protocol in BUDGETED {
+        let run = run_faulted(protocol, 4, FaultPlan::new().crash(crashed, 0), 6_000, 42);
+        let rec = &run.nodes[0].records()[0];
+        assert!(
+            matches!(rec.outcome, Outcome::Completed(_)),
+            "{protocol:?}: expected completion, got {:?}",
+            rec.outcome
+        );
+        assert!(
+            rec.gave_up.contains(&crashed),
+            "{protocol:?}: gave_up = {:?}",
+            rec.gave_up
+        );
+        let gu = give_ups(&run);
+        let first = gu.iter().find(|(_, d, _)| *d == crashed);
+        let (giveup_slot, _, after_retries) =
+            *first.unwrap_or_else(|| panic!("{protocol:?}: no GiveUp event for {crashed:?}"));
+        assert!(
+            after_retries >= 1 && after_retries <= MacTiming::default().dest_retry_limit,
+            "{protocol:?}: after_retries = {after_retries}"
+        );
+        assert!(
+            !addressed_after(&run, crashed, giveup_slot),
+            "{protocol:?}: crashed receiver still addressed after give-up"
+        );
+        // The healthy receivers all got the data.
+        for r in 2..=4u32 {
+            assert!(
+                run.nodes[r as usize].received().len() == 1,
+                "{protocol:?}: healthy receiver {r} missed the message"
+            );
+        }
+    }
+}
+
+#[test]
+fn leader_rotation_survives_a_crashed_leader() {
+    // Receiver 1 is the leader by convention; crash it. The sender must
+    // demote it and finish the exchange with receiver 2 as leader.
+    let run = run_faulted(
+        ProtocolKind::LeaderBased,
+        3,
+        FaultPlan::new().crash(NodeId(1), 0),
+        6_000,
+        7,
+    );
+    let rec = &run.nodes[0].records()[0];
+    assert!(
+        matches!(rec.outcome, Outcome::Completed(_)),
+        "{:?}",
+        rec.outcome
+    );
+    assert_eq!(rec.gave_up, vec![NodeId(1)]);
+    assert!(
+        rec.acked.contains(&NodeId(2)),
+        "rotated leader should have ACKed: {:?}",
+        rec.acked
+    );
+}
+
+#[test]
+fn all_receivers_crashed_terminates_bounded() {
+    // With every receiver dead no protocol can deliver anything; the
+    // point is that each one *stops* — either by exhausting its
+    // per-destination budgets or by tripping the node-level retry
+    // ceiling — instead of contending forever.
+    let t = MacTiming::default();
+    let all_protocols = [
+        ProtocolKind::TangGerla,
+        ProtocolKind::Bsma,
+        ProtocolKind::Bmw,
+        ProtocolKind::Bmmm,
+        ProtocolKind::Lamm,
+        ProtocolKind::LeaderBased,
+        ProtocolKind::BmmmUncoordinated,
+    ];
+    for protocol in all_protocols {
+        let faults = FaultPlan::new()
+            .crash(NodeId(1), 0)
+            .crash(NodeId(2), 0)
+            .crash(NodeId(3), 0);
+        let run = run_faulted(protocol, 3, faults, 20_000, 9);
+        let rec = &run.nodes[0].records()[0];
+        assert!(
+            !matches!(rec.outcome, Outcome::Pending),
+            "{protocol:?}: still pending after 20k slots: {:?}",
+            rec.outcome
+        );
+        // Work bound: at worst one full per-destination budget per
+        // receiver plus a node-ceiling run of consecutive failures.
+        let bound = 3 * t.dest_retry_limit + t.retry_limit + 2;
+        assert!(
+            rec.contention_phases <= bound,
+            "{protocol:?}: {} contention phases (bound {bound})",
+            rec.contention_phases
+        );
+    }
+}
+
+#[test]
+fn retry_ceiling_bounds_protocols_without_budgets() {
+    // BSMA and Tang–Gerla have no per-destination state: the node-level
+    // ceiling is their only bound. All receivers crashed ⇒ no CTS ever ⇒
+    // the sender fails after at most retry_limit + 1 contention phases.
+    let t = MacTiming::default();
+    for protocol in [ProtocolKind::Bsma, ProtocolKind::TangGerla] {
+        let faults = FaultPlan::new().crash(NodeId(1), 0).crash(NodeId(2), 0);
+        let run = run_faulted(protocol, 2, faults, 20_000, 3);
+        let rec = &run.nodes[0].records()[0];
+        assert!(
+            matches!(rec.outcome, Outcome::Failed(_)),
+            "{protocol:?}: {:?}",
+            rec.outcome
+        );
+        assert!(
+            rec.contention_phases <= t.retry_limit + 1,
+            "{protocol:?}: {} phases",
+            rec.contention_phases
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For any budgeted protocol, receiver count, victim, crash slot and
+    /// seed: the sender terminates, and once it gives up on the victim it
+    /// never addresses it again.
+    #[test]
+    fn no_post_give_up_polls(
+        proto_sel in 0usize..BUDGETED.len(),
+        n in 2usize..5,
+        victim_sel in 0usize..4,
+        crash_at in 0u64..500,
+        seed in 0u64..1000,
+    ) {
+        let protocol = BUDGETED[proto_sel];
+        let victim = NodeId(1 + (victim_sel % n) as u32);
+        let run = run_faulted(
+            protocol,
+            n,
+            FaultPlan::new().crash(victim, crash_at),
+            8_000,
+            seed,
+        );
+        let rec = &run.nodes[0].records()[0];
+        prop_assert!(
+            !matches!(rec.outcome, Outcome::Pending),
+            "{:?}: still pending", protocol
+        );
+        for (slot, dst, _) in give_ups(&run) {
+            prop_assert!(
+                !addressed_after(&run, dst, slot),
+                "{:?}: {:?} addressed after give-up at {}", protocol, dst, slot
+            );
+        }
+    }
+}

@@ -17,11 +17,12 @@
 //! triggers a NAV yield.
 
 use crate::capture::Capture;
+use crate::fault::{BurstChain, GilbertElliott};
 use crate::frame::Frame;
 use crate::ids::{NodeId, Slot};
 use crate::topology::Topology;
 use rand::rngs::SmallRng;
-use rand::Rng;
+use rand::{Rng, SeedableRng};
 
 /// A frame on the air, occupying slots `[start, end)`.
 #[derive(Debug, Clone)]
@@ -78,14 +79,56 @@ pub struct SlotOutcome {
     /// Receivers that lost an otherwise clean frame to a random frame
     /// error this slot.
     pub frame_errors: Vec<NodeId>,
+    /// Receivers that lost an otherwise decodable frame to the
+    /// Gilbert–Elliott burst channel this slot.
+    pub burst_errors: Vec<NodeId>,
 }
 
 impl SlotOutcome {
-    /// Empties all three event lists, keeping their allocations.
+    /// Empties all event lists, keeping their allocations.
     pub fn clear(&mut self) {
         self.receptions.clear();
         self.collisions.clear();
         self.frame_errors.clear();
+        self.burst_errors.clear();
+    }
+}
+
+/// Burst-loss state: the configured model, one chain per receiver, and
+/// the model's own RNG stream (isolated from the i.i.d. FER / capture
+/// draws so enabling bursts never perturbs the other streams).
+#[derive(Debug)]
+struct BurstState {
+    model: GilbertElliott,
+    rng: SmallRng,
+    chains: Vec<BurstChain>,
+}
+
+impl BurstState {
+    /// Steps the chains over this slot's decoded receptions (in
+    /// deterministic reception order) and moves losses from
+    /// `outcome.receptions` to `outcome.burst_errors`. Returns the number
+    /// of frames lost. Chains advance only on reception attempts, so the
+    /// naive and event-horizon steppers (which see identical reception
+    /// sequences) stay bit-exact.
+    fn apply(&mut self, outcome: &mut SlotOutcome) -> u64 {
+        let mut lost = 0;
+        let mut i = 0;
+        while i < outcome.receptions.len() {
+            let r = outcome.receptions[i].receiver;
+            if r.index() >= self.chains.len() {
+                self.chains
+                    .resize(r.index() + 1, BurstChain::new(self.model));
+            }
+            if self.chains[r.index()].step(&mut self.rng) {
+                outcome.burst_errors.push(r);
+                outcome.receptions.remove(i);
+                lost += 1;
+            } else {
+                i += 1;
+            }
+        }
+        lost
     }
 }
 
@@ -107,10 +150,14 @@ pub struct Channel {
     /// errors other than collisions — noise, fading). The paper's
     /// Section 6 analysis folds these into its `q`; default 0.
     fer: f64,
+    /// Gilbert–Elliott burst-loss state, if configured.
+    burst: Option<BurstState>,
     /// Count of frame receptions destroyed by collisions (monotone).
     pub collisions_total: u64,
     /// Count of frame receptions destroyed by random frame errors.
     pub frame_errors_total: u64,
+    /// Count of frame receptions destroyed by the burst-error channel.
+    pub burst_errors_total: u64,
     /// Count of slots during which at least one transmission was on the
     /// air anywhere in the network (global airtime utilization).
     pub busy_slots: u64,
@@ -127,8 +174,10 @@ impl Channel {
             ended_scratch: Vec::new(),
             interferer_scratch: Vec::new(),
             fer: 0.0,
+            burst: None,
             collisions_total: 0,
             frame_errors_total: 0,
+            burst_errors_total: 0,
             busy_slots: 0,
         }
     }
@@ -146,6 +195,23 @@ impl Channel {
     /// The configured frame error rate.
     pub fn fer(&self) -> f64 {
         self.fer
+    }
+
+    /// Enables the Gilbert–Elliott burst-error channel, seeding its
+    /// dedicated RNG stream. Per-receiver chains start in the Good state
+    /// and advance once per reception attempt at that receiver.
+    pub fn set_burst(&mut self, model: GilbertElliott, seed: u64) {
+        let model = GilbertElliott::new(model.p, model.r); // re-validate
+        self.burst = Some(BurstState {
+            model,
+            rng: SmallRng::seed_from_u64(seed),
+            chains: Vec::new(),
+        });
+    }
+
+    /// The configured burst model, if any.
+    pub fn burst(&self) -> Option<GilbertElliott> {
+        self.burst.as_ref().map(|b| b.model)
     }
 
     /// The configured capture model.
@@ -263,6 +329,9 @@ impl Channel {
         }
         self.ended_scratch = ended;
         self.interferer_scratch = interferers;
+        if let Some(burst) = &mut self.burst {
+            self.burst_errors_total += burst.apply(outcome);
+        }
     }
 
     fn resolve_at_receiver(
@@ -618,6 +687,37 @@ mod tests {
         // Eventually records are dropped.
         ch.prune(100);
         assert_eq!(ch.records(), 0);
+    }
+
+    #[test]
+    fn burst_channel_drops_receptions_into_burst_errors() {
+        let topo = hidden_terminal_topo();
+        let mut ch = Channel::new(Capture::None);
+        // p = 1, r = 0: every chain goes Bad on its first step and stays
+        // there, so every otherwise clean reception is lost.
+        ch.set_burst(GilbertElliott::new(1.0, 0.0), 9);
+        let mut r = rng();
+        for i in 0..5 {
+            ch.begin_tx(rts(1, 0), i * 2);
+            let out = ch.resolve_ended(i * 2 + 1, &topo, &mut r);
+            assert!(out.receptions.is_empty());
+            assert_eq!(out.burst_errors.len(), 2, "receivers 0 and 2");
+            ch.prune(i * 2 + 1);
+        }
+        assert_eq!(ch.burst_errors_total, 10);
+    }
+
+    #[test]
+    fn burst_p_zero_is_inert() {
+        let topo = hidden_terminal_topo();
+        let mut ch = Channel::new(Capture::None);
+        ch.set_burst(GilbertElliott::new(0.0, 0.5), 9);
+        let mut r = rng();
+        ch.begin_tx(rts(1, 0), 0);
+        let out = ch.resolve_ended(1, &topo, &mut r);
+        assert_eq!(out.receptions.len(), 2);
+        assert!(out.burst_errors.is_empty());
+        assert_eq!(ch.burst_errors_total, 0);
     }
 
     #[test]

@@ -15,6 +15,7 @@
 
 use crate::capture::Capture;
 use crate::channel::{Channel, SlotOutcome};
+use crate::fault::{FaultPlan, GilbertElliott};
 use crate::frame::Frame;
 use crate::ids::{NodeId, Slot};
 use crate::topology::Topology;
@@ -101,12 +102,20 @@ pub struct Engine {
     outcome: SlotOutcome,
     /// Slots fast-forwarded over by [`Engine::advance_to`] (monotone).
     slots_skipped: u64,
+    /// Scheduled node faults (empty by default). A pure predicate of
+    /// `(node, slot)`, so the fast and naive steppers agree exactly.
+    faults: FaultPlan,
+    /// Per-station slot of the most recent transmission that actually
+    /// reached the air (`None` = never). Liveness diagnostics for the
+    /// workload watchdog; muted/crashed sends do not count.
+    last_tx: Vec<Option<Slot>>,
 }
 
 impl Engine {
     /// Creates an engine over `topo` with the given capture model and
     /// channel RNG seed.
     pub fn new(topo: Topology, capture: Capture, seed: u64) -> Self {
+        let n = topo.len();
         Engine {
             topo,
             channel: Channel::new(capture),
@@ -117,12 +126,36 @@ impl Engine {
             busy_map: Vec::new(),
             outcome: SlotOutcome::default(),
             slots_skipped: 0,
+            faults: FaultPlan::default(),
+            last_tx: vec![None; n],
         }
     }
 
     /// Sets the channel's independent frame error rate.
     pub fn set_fer(&mut self, fer: f64) {
         self.channel.set_fer(fer);
+    }
+
+    /// Installs a fault plan. Crashed/deaf nodes decode nothing while
+    /// faulty; crashed/muted nodes' frames are dropped before the air.
+    pub fn set_faults(&mut self, faults: FaultPlan) {
+        self.faults = faults;
+    }
+
+    /// The installed fault plan.
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// Enables the Gilbert–Elliott burst-error channel with its own RNG
+    /// stream seeded from `seed`.
+    pub fn set_burst(&mut self, model: GilbertElliott, seed: u64) {
+        self.channel.set_burst(model, seed);
+    }
+
+    /// Slot of `node`'s most recent transmission that reached the air.
+    pub fn last_tx(&self, node: NodeId) -> Option<Slot> {
+        self.last_tx[node.index()]
     }
 
     /// Enables event tracing (disabled by default; it allocates).
@@ -184,6 +217,16 @@ impl Engine {
         // Phase 1: resolve frames ending now and deliver them.
         self.channel
             .resolve_ended_into(now, &self.topo, &mut self.rng, &mut self.outcome);
+        // Fault injection, rx side: crashed/deaf receivers decode
+        // nothing. Filtering happens *after* resolution so the channel's
+        // RNG draws (FER, capture, burst) are identical with or without
+        // a fault plan — only delivery is suppressed.
+        if !self.faults.is_empty() {
+            let faults = &self.faults;
+            self.outcome
+                .receptions
+                .retain(|r| !faults.blocks_rx(r.receiver, now));
+        }
         if let Some(trace) = &mut self.trace {
             for c in &self.outcome.collisions {
                 trace.push(TraceEvent::Collision {
@@ -229,8 +272,16 @@ impl Engine {
             station.on_slot(&mut ctx);
         }
 
-        // Phase 3: new transmissions go on the air.
+        // Phase 3: new transmissions go on the air. Fault injection, tx
+        // side: frames from crashed/muted stations are dropped before
+        // the air — no trace event, no interference, no carrier sense.
+        // The sender's own MAC bookkeeping already ran; it believes the
+        // frame went out.
         for frame in self.outbox.drain(..) {
+            if !self.faults.is_empty() && self.faults.blocks_tx(frame.src, now) {
+                continue;
+            }
+            self.last_tx[frame.src.index()] = Some(now);
             if let Some(trace) = &mut self.trace {
                 trace.tx_start(now, &frame);
             }
@@ -531,6 +582,71 @@ mod tests {
         assert_eq!(fast.slots_skipped(), 0, "default hint wakes every slot");
         assert_eq!(st_naive[1].heard, st_fast[1].heard);
         assert_eq!(st_naive[1].busy_log, st_fast[1].busy_log);
+    }
+
+    #[test]
+    fn crashed_node_neither_sends_nor_receives() {
+        use crate::fault::FaultPlan;
+        let mut eng = Engine::new(pair_topo(), Capture::None, 1);
+        eng.set_faults(FaultPlan::new().crash(NodeId(0), 3));
+        let mut st = vec![
+            Scripted {
+                plan: vec![(0, rts(0, 1)), (5, rts(0, 1))],
+                ..Default::default()
+            },
+            Scripted {
+                plan: vec![(7, rts(1, 0))],
+                ..Default::default()
+            },
+        ];
+        eng.run(&mut st, 10);
+        // The pre-crash frame arrives; the post-crash one is dropped.
+        assert_eq!(st[1].heard, vec![(1, NodeId(0), FrameKind::Rts)]);
+        // The crashed node decodes nothing.
+        assert!(st[0].heard.is_empty());
+        assert_eq!(eng.last_tx(NodeId(0)), Some(0));
+        assert_eq!(eng.last_tx(NodeId(1)), Some(7));
+    }
+
+    #[test]
+    fn deaf_window_blocks_decode_then_recovers() {
+        use crate::fault::FaultPlan;
+        let mut eng = Engine::new(pair_topo(), Capture::None, 1);
+        // Frames resolve at slot start+1; deafness covers the first one.
+        eng.set_faults(FaultPlan::new().deaf(NodeId(1), 0, 3));
+        let mut st = vec![
+            Scripted {
+                plan: vec![(0, rts(0, 1)), (4, rts(0, 1))],
+                ..Default::default()
+            },
+            Scripted::default(),
+        ];
+        eng.run(&mut st, 8);
+        assert_eq!(st[1].heard, vec![(5, NodeId(0), FrameKind::Rts)]);
+        // Carrier sense still works while deaf: slot 1 reads busy.
+        assert!(st[1].busy_log[1]);
+    }
+
+    #[test]
+    fn muted_sender_is_silent_on_the_air() {
+        use crate::fault::FaultPlan;
+        let mut eng = Engine::new(pair_topo(), Capture::None, 1);
+        eng.enable_trace();
+        eng.set_faults(FaultPlan::new().mute(NodeId(0), 0, 10));
+        let mut st = vec![
+            Scripted {
+                plan: vec![(2, rts(0, 1))],
+                ..Default::default()
+            },
+            Scripted::default(),
+        ];
+        eng.run(&mut st, 6);
+        assert!(st[1].heard.is_empty());
+        // No TxStart trace, no carrier sense, no last_tx: the frame
+        // never existed as far as the network is concerned.
+        assert!(eng.trace().unwrap().events().is_empty());
+        assert!(st[1].busy_log.iter().all(|&b| !b));
+        assert_eq!(eng.last_tx(NodeId(0)), None);
     }
 
     #[test]

@@ -1,0 +1,449 @@
+//! Deterministic fault injection: scheduled per-node radio faults and
+//! the Gilbert–Elliott burst-error channel.
+//!
+//! Both impairments are *additive* to the healthy simulation: a run with
+//! an empty [`FaultPlan`] and no burst model configured draws from
+//! exactly the same RNG streams as before and is bit-identical to a run
+//! on a build without this module. Faults are pure predicates of
+//! `(node, slot)` enforced by the engine (so the naive and event-horizon
+//! steppers agree by construction), and the burst chain advances only on
+//! reception attempts, from its own dedicated RNG stream.
+
+use crate::ids::{NodeId, Slot};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The kind of an injected node fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The node's radio dies at `from` and never recovers: nothing it
+    /// sends reaches the air and it decodes nothing. `until` is ignored.
+    Crash,
+    /// Receive path dead during the window: the node decodes no frames.
+    /// Carrier sense still works — deafness models a broken decoder (or
+    /// persistent in-band interference), not a missing antenna.
+    Deaf,
+    /// Transmit path dead during the window: the node's frames are
+    /// silently dropped before they reach the air. The node itself still
+    /// believes it transmitted (a dead power amplifier is invisible to
+    /// the MAC), so its counters and half-duplex bookkeeping advance.
+    TxMute,
+}
+
+impl FaultKind {
+    fn tag(self) -> &'static str {
+        match self {
+            FaultKind::Crash => "crash",
+            FaultKind::Deaf => "deaf",
+            FaultKind::TxMute => "mute",
+        }
+    }
+}
+
+/// One scheduled fault: `kind` afflicts `node` during `[from, until)`
+/// (`until = None` means forever; `Crash` is always forever).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeFault {
+    /// Afflicted station.
+    pub node: NodeId,
+    /// What breaks.
+    pub kind: FaultKind,
+    /// First faulty slot.
+    pub from: Slot,
+    /// One past the last faulty slot; `None` = never recovers.
+    pub until: Option<Slot>,
+}
+
+impl NodeFault {
+    fn active_at(&self, slot: Slot) -> bool {
+        if slot < self.from {
+            return false;
+        }
+        match self.kind {
+            FaultKind::Crash => true,
+            _ => self.until.is_none_or(|u| slot < u),
+        }
+    }
+
+    /// Whether the fault is active anywhere in `[from, to)`.
+    fn active_during(&self, from: Slot, to: Slot) -> bool {
+        if to <= self.from {
+            return false;
+        }
+        match self.kind {
+            FaultKind::Crash => true,
+            _ => self.until.is_none_or(|u| from < u),
+        }
+    }
+}
+
+/// A deterministic schedule of node faults, applied by the engine.
+///
+/// The plan is a pure function of `(node, slot)`: it draws no randomness
+/// at simulation time, so fast and naive stepping see identical fault
+/// states, and an empty plan changes nothing at all.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// The scheduled faults.
+    pub faults: Vec<NodeFault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Whether the plan schedules no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Adds a permanent crash of `node` starting at `at`.
+    pub fn crash(mut self, node: NodeId, at: Slot) -> Self {
+        self.faults.push(NodeFault {
+            node,
+            kind: FaultKind::Crash,
+            from: at,
+            until: None,
+        });
+        self
+    }
+
+    /// Adds a deafness window `[from, until)` for `node`.
+    pub fn deaf(mut self, node: NodeId, from: Slot, until: Slot) -> Self {
+        self.faults.push(NodeFault {
+            node,
+            kind: FaultKind::Deaf,
+            from,
+            until: Some(until),
+        });
+        self
+    }
+
+    /// Adds a TX-mute window `[from, until)` for `node`.
+    pub fn mute(mut self, node: NodeId, from: Slot, until: Slot) -> Self {
+        self.faults.push(NodeFault {
+            node,
+            kind: FaultKind::TxMute,
+            from,
+            until: Some(until),
+        });
+        self
+    }
+
+    /// Whether `node` cannot decode frames at `slot` (crashed or deaf).
+    pub fn blocks_rx(&self, node: NodeId, slot: Slot) -> bool {
+        self.faults.iter().any(|f| {
+            f.node == node
+                && matches!(f.kind, FaultKind::Crash | FaultKind::Deaf)
+                && f.active_at(slot)
+        })
+    }
+
+    /// Whether frames sent by `node` at `slot` are dropped before the
+    /// air (crashed or TX-muted).
+    pub fn blocks_tx(&self, node: NodeId, slot: Slot) -> bool {
+        self.faults.iter().any(|f| {
+            f.node == node
+                && matches!(f.kind, FaultKind::Crash | FaultKind::TxMute)
+                && f.active_at(slot)
+        })
+    }
+
+    /// Whether `node` is crashed at `slot`.
+    pub fn crashed(&self, node: NodeId, slot: Slot) -> bool {
+        self.faults
+            .iter()
+            .any(|f| f.node == node && f.kind == FaultKind::Crash && f.active_at(slot))
+    }
+
+    /// Whether any fault impairs `node` at any point during `[from, to)`.
+    /// Used to split delivery metrics into reachable vs. faulted
+    /// receivers: a receiver counts as reachable for a message only if it
+    /// was healthy for the message's whole service window.
+    pub fn impaired_during(&self, node: NodeId, from: Slot, to: Slot) -> bool {
+        self.faults
+            .iter()
+            .any(|f| f.node == node && f.active_during(from, to))
+    }
+
+    /// A plan crashing `count` distinct nodes drawn from `1..n_nodes`
+    /// (node 0 is spared so at least one healthy sender remains) at slot
+    /// `at`, using a dedicated RNG stream derived from `seed`. The same
+    /// seed always yields the same victims.
+    pub fn random_crashes(n_nodes: usize, count: usize, at: Slot, seed: u64) -> Self {
+        use rand::SeedableRng;
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x6661_756c_7473); // "faults"
+        let mut victims: Vec<u32> = Vec::new();
+        let pool = n_nodes.saturating_sub(1);
+        let count = count.min(pool);
+        while victims.len() < count {
+            let v = rng.random_range(1..n_nodes) as u32;
+            if !victims.contains(&v) {
+                victims.push(v);
+            }
+        }
+        victims.sort_unstable();
+        let mut plan = FaultPlan::new();
+        for v in victims {
+            plan = plan.crash(NodeId(v), at);
+        }
+        plan
+    }
+
+    /// Parses a semicolon-separated fault spec, e.g.
+    /// `crash:5@1000;deaf:3@200..800;mute:7@0..500`. Each entry is
+    /// `kind:node@from` (crash) or `kind:node@from..until` (windowed
+    /// faults; `until` may be omitted for a permanent fault).
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut plan = FaultPlan::new();
+        for entry in spec.split(';').filter(|s| !s.trim().is_empty()) {
+            let entry = entry.trim();
+            let (kind_s, rest) = entry
+                .split_once(':')
+                .ok_or_else(|| format!("fault entry `{entry}` missing `kind:`"))?;
+            let kind = match kind_s {
+                "crash" => FaultKind::Crash,
+                "deaf" => FaultKind::Deaf,
+                "mute" => FaultKind::TxMute,
+                other => return Err(format!("unknown fault kind `{other}`")),
+            };
+            let (node_s, when_s) = rest
+                .split_once('@')
+                .ok_or_else(|| format!("fault entry `{entry}` missing `@slot`"))?;
+            let node: u32 = node_s
+                .parse()
+                .map_err(|_| format!("bad node id `{node_s}` in `{entry}`"))?;
+            let (from, until) = match when_s.split_once("..") {
+                Some((a, b)) => {
+                    let from = a
+                        .parse()
+                        .map_err(|_| format!("bad slot `{a}` in `{entry}`"))?;
+                    let until = b
+                        .parse()
+                        .map_err(|_| format!("bad slot `{b}` in `{entry}`"))?;
+                    (from, Some(until))
+                }
+                None => {
+                    let from = when_s
+                        .parse()
+                        .map_err(|_| format!("bad slot `{when_s}` in `{entry}`"))?;
+                    (from, None)
+                }
+            };
+            if until.is_some_and(|u| u <= from) {
+                return Err(format!("empty fault window in `{entry}`"));
+            }
+            plan.faults.push(NodeFault {
+                node: NodeId(node),
+                kind,
+                from,
+                until,
+            });
+        }
+        Ok(plan)
+    }
+
+    /// Renders the plan back into the [`FaultPlan::parse`] spec syntax.
+    pub fn spec(&self) -> String {
+        self.faults
+            .iter()
+            .map(|f| match (f.kind, f.until) {
+                (FaultKind::Crash, _) | (_, None) => {
+                    format!("{}:{}@{}", f.kind.tag(), f.node.0, f.from)
+                }
+                (_, Some(u)) => format!("{}:{}@{}..{}", f.kind.tag(), f.node.0, f.from, u),
+            })
+            .collect::<Vec<_>>()
+            .join(";")
+    }
+}
+
+/// The two-state Gilbert–Elliott burst-loss model.
+///
+/// Each receiver carries an independent two-state Markov chain (Good /
+/// Bad). The chain is stepped once per frame that would otherwise be
+/// decoded at that receiver: first the state transitions (Good→Bad with
+/// probability `p`, Bad→Good with probability `r`), then the frame is
+/// lost iff the new state is Bad. The stationary loss rate is
+/// `p / (p + r)`; mean burst length is `1 / r` frames.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GilbertElliott {
+    /// P(Good → Bad) per reception attempt.
+    pub p: f64,
+    /// P(Bad → Good) per reception attempt.
+    pub r: f64,
+}
+
+impl GilbertElliott {
+    /// Creates a model, validating both probabilities.
+    pub fn new(p: f64, r: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "p must be in [0, 1]");
+        assert!((0.0..=1.0).contains(&r), "r must be in [0, 1]");
+        GilbertElliott { p, r }
+    }
+
+    /// The closed-form stationary loss rate `p / (p + r)` (0 when both
+    /// probabilities are 0: the chain starts Good and never leaves).
+    pub fn stationary_loss(&self) -> f64 {
+        if self.p + self.r == 0.0 {
+            0.0
+        } else {
+            self.p / (self.p + self.r)
+        }
+    }
+}
+
+/// One receiver's chain state. Starts in the Good state.
+#[derive(Debug, Clone, Copy)]
+pub struct BurstChain {
+    model: GilbertElliott,
+    bad: bool,
+}
+
+impl BurstChain {
+    /// A fresh chain in the Good state.
+    pub fn new(model: GilbertElliott) -> Self {
+        BurstChain { model, bad: false }
+    }
+
+    /// Advances the chain by one reception attempt and returns whether
+    /// the frame is lost (the chain is in the Bad state after the
+    /// transition). Exactly one RNG draw per step, regardless of state.
+    pub fn step(&mut self, rng: &mut SmallRng) -> bool {
+        let u: f64 = rng.random();
+        self.bad = if self.bad {
+            u >= self.model.r
+        } else {
+            u < self.model.p
+        };
+        self.bad
+    }
+
+    /// Whether the chain is currently in the Bad (lossy) state.
+    pub fn is_bad(&self) -> bool {
+        self.bad
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn stationary_loss_matches_closed_form() {
+        for &(p, r) in &[(0.05, 0.25), (0.1, 0.1), (0.02, 0.5)] {
+            let model = GilbertElliott::new(p, r);
+            let mut chain = BurstChain::new(model);
+            let mut rng = SmallRng::seed_from_u64(7);
+            let trials = 200_000;
+            let lost = (0..trials).filter(|_| chain.step(&mut rng)).count();
+            let rate = lost as f64 / trials as f64;
+            let want = model.stationary_loss();
+            assert!(
+                (rate - want).abs() < 0.01,
+                "p={p} r={r}: empirical {rate} vs closed-form {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_p_zero_never_loses() {
+        let mut chain = BurstChain::new(GilbertElliott::new(0.0, 0.3));
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!((0..10_000).all(|_| !chain.step(&mut rng)));
+        assert_eq!(GilbertElliott::new(0.0, 0.3).stationary_loss(), 0.0);
+        assert_eq!(GilbertElliott::new(0.0, 0.0).stationary_loss(), 0.0);
+    }
+
+    #[test]
+    fn degenerate_r_zero_absorbs_into_bad() {
+        // With r = 0 the Bad state is absorbing: once the first G→B
+        // transition fires, every later frame is lost.
+        let mut chain = BurstChain::new(GilbertElliott::new(1.0, 0.0));
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!((0..1000).all(|_| chain.step(&mut rng)));
+        assert_eq!(GilbertElliott::new(0.4, 0.0).stationary_loss(), 1.0);
+    }
+
+    #[test]
+    fn fault_predicates_respect_windows() {
+        let plan = FaultPlan::new()
+            .crash(NodeId(1), 100)
+            .deaf(NodeId(2), 10, 20)
+            .mute(NodeId(3), 30, 40);
+        // Crash: rx and tx blocked from 100 on, forever.
+        assert!(!plan.blocks_rx(NodeId(1), 99));
+        assert!(plan.blocks_rx(NodeId(1), 100));
+        assert!(plan.blocks_tx(NodeId(1), 1_000_000));
+        assert!(plan.crashed(NodeId(1), 100));
+        assert!(!plan.crashed(NodeId(2), 15));
+        // Deaf: rx blocked only inside the window; tx unaffected.
+        assert!(plan.blocks_rx(NodeId(2), 10));
+        assert!(plan.blocks_rx(NodeId(2), 19));
+        assert!(!plan.blocks_rx(NodeId(2), 20));
+        assert!(!plan.blocks_tx(NodeId(2), 15));
+        // Mute: tx blocked only inside the window; rx unaffected.
+        assert!(plan.blocks_tx(NodeId(3), 30));
+        assert!(!plan.blocks_tx(NodeId(3), 40));
+        assert!(!plan.blocks_rx(NodeId(3), 35));
+        // Healthy node untouched.
+        assert!(!plan.blocks_rx(NodeId(0), 500));
+    }
+
+    #[test]
+    fn impaired_during_covers_window_overlap() {
+        let plan = FaultPlan::new()
+            .deaf(NodeId(2), 10, 20)
+            .crash(NodeId(1), 50);
+        assert!(!plan.impaired_during(NodeId(2), 0, 10));
+        assert!(plan.impaired_during(NodeId(2), 0, 11));
+        assert!(plan.impaired_during(NodeId(2), 19, 100));
+        assert!(!plan.impaired_during(NodeId(2), 20, 100));
+        assert!(!plan.impaired_during(NodeId(1), 0, 50));
+        assert!(plan.impaired_during(NodeId(1), 49, 51));
+        assert!(plan.impaired_during(NodeId(1), 1000, 1001));
+    }
+
+    #[test]
+    fn spec_round_trips() {
+        let plan = FaultPlan::parse("crash:5@1000; deaf:3@200..800;mute:7@0..500").unwrap();
+        assert_eq!(plan.faults.len(), 3);
+        assert_eq!(plan.spec(), "crash:5@1000;deaf:3@200..800;mute:7@0..500");
+        assert_eq!(FaultPlan::parse(&plan.spec()).unwrap(), plan);
+        assert!(FaultPlan::parse("").unwrap().is_empty());
+        assert!(FaultPlan::parse("bogus:1@2").is_err());
+        assert!(FaultPlan::parse("deaf:1").is_err());
+        assert!(FaultPlan::parse("deaf:1@9..9").is_err());
+        assert!(FaultPlan::parse("deaf:x@9").is_err());
+    }
+
+    #[test]
+    fn random_crashes_are_deterministic_and_spare_node_zero() {
+        let a = FaultPlan::random_crashes(20, 5, 300, 42);
+        let b = FaultPlan::random_crashes(20, 5, 300, 42);
+        assert_eq!(a, b);
+        assert_eq!(a.faults.len(), 5);
+        assert!(a.faults.iter().all(|f| f.node.0 != 0));
+        assert!(a.faults.iter().all(|f| f.kind == FaultKind::Crash));
+        let c = FaultPlan::random_crashes(20, 5, 300, 43);
+        assert_ne!(a, c, "different seed should pick different victims");
+        // Requesting more crashes than candidates clamps.
+        assert_eq!(FaultPlan::random_crashes(4, 10, 0, 1).faults.len(), 3);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let plan = FaultPlan::new().crash(NodeId(1), 100).deaf(NodeId(2), 5, 9);
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(plan, back);
+        let model = GilbertElliott::new(0.1, 0.4);
+        let json = serde_json::to_string(&model).unwrap();
+        let back: GilbertElliott = serde_json::from_str(&json).unwrap();
+        assert_eq!(model, back);
+    }
+}

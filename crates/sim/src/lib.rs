@@ -26,6 +26,7 @@
 pub mod capture;
 pub mod channel;
 pub mod engine;
+pub mod fault;
 pub mod frame;
 pub mod ids;
 pub mod topology;
@@ -35,6 +36,7 @@ pub mod wire;
 pub use capture::{zorzi_rao_capture, Capture};
 pub use channel::{Channel, Reception, Transmission};
 pub use engine::{Ctx, Engine, Station};
+pub use fault::{BurstChain, FaultKind, FaultPlan, GilbertElliott, NodeFault};
 pub use frame::{Dest, Frame, FrameInfo, FrameKind};
 pub use ids::{MsgId, NodeId, Slot};
 pub use topology::Topology;

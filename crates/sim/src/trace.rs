@@ -152,6 +152,21 @@ pub enum TraceEvent {
         /// The upcoming contention attempt number.
         round: u32,
     },
+    /// A sender exhausted the per-destination retry budget and pruned
+    /// the destination from the message's remaining-set: delivery to
+    /// `dst` is abandoned so the rest of the group can finish.
+    GiveUp {
+        /// Slot of the give-up decision.
+        slot: Slot,
+        /// Abandoning sender.
+        node: NodeId,
+        /// Message being served.
+        msg: MsgId,
+        /// Destination given up on.
+        dst: NodeId,
+        /// Retries spent on this destination before giving up.
+        after_retries: u32,
+    },
     /// A station set its NAV from an overheard Duration field.
     NavDefer {
         /// Slot the reserving frame ended.
@@ -180,6 +195,7 @@ impl TraceEvent {
             | TraceEvent::AckMissed { slot, .. }
             | TraceEvent::CoverSetComputed { slot, .. }
             | TraceEvent::Retry { slot, .. }
+            | TraceEvent::GiveUp { slot, .. }
             | TraceEvent::NavDefer { slot, .. } => *slot,
         }
     }
@@ -196,6 +212,7 @@ impl TraceEvent {
             | TraceEvent::AckMissed { msg, .. }
             | TraceEvent::CoverSetComputed { msg, .. }
             | TraceEvent::Retry { msg, .. }
+            | TraceEvent::GiveUp { msg, .. }
             | TraceEvent::NavDefer { msg, .. } => Some(*msg),
             TraceEvent::RxOk { .. } | TraceEvent::Collision { .. } => None,
         }
@@ -639,6 +656,13 @@ mod tests {
                 node: NodeId(0),
                 msg,
                 round: 2,
+            },
+            TraceEvent::GiveUp {
+                slot: 11,
+                node: NodeId(0),
+                msg,
+                dst: NodeId(2),
+                after_retries: 7,
             },
             TraceEvent::NavDefer {
                 slot: 11,

@@ -13,6 +13,12 @@ pub struct MessageMetric {
     pub intended: usize,
     /// Intended receivers that actually decoded the data frame.
     pub delivered: usize,
+    /// Intended receivers that were healthy (no injected fault active)
+    /// for the message's whole service window. Equals `intended` when no
+    /// fault plan is configured.
+    pub reachable: usize,
+    /// Reachable receivers that actually decoded the data frame.
+    pub delivered_reachable: usize,
     /// The sender's protocol run finished (it believes the transfer done).
     pub completed: bool,
     /// The service timeout expired first.
@@ -40,6 +46,17 @@ impl MessageMetric {
     pub fn successful(&self, threshold: f64) -> bool {
         self.completed && !self.timed_out && self.delivered_frac() + 1e-12 >= threshold
     }
+
+    /// Fraction of *reachable* receivers reached (1.0 for groups with no
+    /// reachable member). This is the fault-aware delivery figure: a
+    /// crashed receiver cannot count against the protocol.
+    pub fn reachable_frac(&self) -> f64 {
+        if self.reachable == 0 {
+            1.0
+        } else {
+            self.delivered_reachable as f64 / self.reachable as f64
+        }
+    }
 }
 
 /// Aggregate metrics of one simulation run.
@@ -55,6 +72,10 @@ pub struct RunMetrics {
     pub avg_completion_time: f64,
     /// Mean delivered fraction over all messages.
     pub avg_delivered_frac: f64,
+    /// Mean delivered fraction counting only *reachable* (unfaulted)
+    /// receivers. Equals `avg_delivered_frac` when no faults are
+    /// configured.
+    pub avg_reachable_frac: f64,
 }
 
 impl RunMetrics {
@@ -71,6 +92,7 @@ impl RunMetrics {
                 avg_contention_phases: 0.0,
                 avg_completion_time: 0.0,
                 avg_delivered_frac: 0.0,
+                avg_reachable_frac: 0.0,
             };
         }
         let successes = messages.iter().filter(|m| m.successful(threshold)).count();
@@ -83,6 +105,7 @@ impl RunMetrics {
             .filter_map(|m| m.completion_time)
             .fold((0u64, 0usize), |(s, c), t| (s + t, c + 1));
         let frac_sum: f64 = messages.iter().map(|m| m.delivered_frac()).sum();
+        let reach_sum: f64 = messages.iter().map(|m| m.reachable_frac()).sum();
         RunMetrics {
             messages: n,
             delivery_rate: successes as f64 / n as f64,
@@ -93,6 +116,7 @@ impl RunMetrics {
                 ct_sum as f64 / ct_n as f64
             },
             avg_delivered_frac: frac_sum / n as f64,
+            avg_reachable_frac: reach_sum / n as f64,
         }
     }
 }
@@ -111,6 +135,8 @@ mod tests {
             is_group: true,
             intended,
             delivered,
+            reachable: intended,
+            delivered_reachable: delivered,
             completed,
             timed_out,
             contention_phases: 2,
@@ -169,6 +195,27 @@ mod tests {
         // Two messages completed, both at 30 slots.
         assert!((r.avg_completion_time - 30.0).abs() < 1e-12);
         assert!((r.avg_delivered_frac - (1.0 + 0.4 + 1.0) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reachable_frac_ignores_faulted_receivers() {
+        // 5 intended, 2 crashed: only 3 reachable, all 3 delivered.
+        let mut m = metric(5, 3, true, false);
+        m.reachable = 3;
+        m.delivered_reachable = 3;
+        assert!((m.delivered_frac() - 0.6).abs() < 1e-12);
+        assert_eq!(m.reachable_frac(), 1.0);
+        // Whole group faulted: vacuously delivered.
+        m.reachable = 0;
+        m.delivered_reachable = 0;
+        assert_eq!(m.reachable_frac(), 1.0);
+    }
+
+    #[test]
+    fn aggregate_reachable_matches_delivered_without_faults() {
+        let msgs = vec![metric(5, 5, true, false), metric(5, 2, true, false)];
+        let r = RunMetrics::compute(&msgs, 0.9);
+        assert!((r.avg_reachable_frac - r.avg_delivered_frac).abs() < 1e-12);
     }
 
     #[test]

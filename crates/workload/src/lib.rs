@@ -31,7 +31,7 @@ pub use observe::{collect_metrics, PhaseTimings, RunManifest};
 pub use placement::uniform_square;
 pub use runner::{
     mean_group_metrics, run_many, run_many_seeded, run_mobile, run_mobile_naive, run_one,
-    run_one_naive, run_one_traced, run_one_traced_naive, RunResult,
+    run_one_naive, run_one_traced, run_one_traced_naive, RunResult, StallReport,
 };
 pub use scenario::Scenario;
 pub use traffic::{TrafficGen, TrafficMix};

@@ -27,7 +27,7 @@ impl PhaseTimings {
 
 /// Provenance for one run: everything needed to reproduce it, plus how
 /// long it took. Attached to every [`RunResult`](crate::RunResult).
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RunManifest {
     /// The full scenario the run executed.
     pub scenario: Scenario,
@@ -48,7 +48,7 @@ pub struct RunManifest {
 ///
 /// Counters: `tx_frames`, `rx_ok`, `collisions`, `contention_starts`,
 /// `contention_wins`, `retries`, `nav_defers`, `polls_rts`, `polls_rak`,
-/// `acks_missed`, `batches`, `cover_sets`.
+/// `acks_missed`, `batches`, `cover_sets`, `give_ups`.
 ///
 /// Histograms: `contention_phases_per_msg`, `batch_len`, `idle_gap`
 /// (slots between consecutive transmissions anywhere in the network),
@@ -91,6 +91,7 @@ pub fn collect_metrics(
                 }
             }
             TraceEvent::CoverSetComputed { .. } => reg.inc("cover_sets"),
+            TraceEvent::GiveUp { .. } => reg.inc("give_ups"),
         }
     }
     // Medium-idle gaps between consecutive transmissions, network-wide.
@@ -188,6 +189,13 @@ mod tests {
                 msg: m,
                 target: NodeId(2),
             },
+            TraceEvent::GiveUp {
+                slot: 40,
+                node: NodeId(0),
+                msg: m,
+                dst: NodeId(2),
+                after_retries: 7,
+            },
         ];
         let reg = collect_metrics(&events, &[]);
         assert_eq!(reg.counter("tx_frames"), 1);
@@ -198,6 +206,7 @@ mod tests {
         assert_eq!(reg.counter("polls_rak"), 1);
         assert_eq!(reg.counter("batches"), 1);
         assert_eq!(reg.counter("acks_missed"), 1);
+        assert_eq!(reg.counter("give_ups"), 1);
         assert_eq!(reg.histogram("batch_len").unwrap().count(), 1);
         let cov = reg.histogram("ack_coverage_per_round").unwrap();
         assert_eq!(cov.count(), 1);

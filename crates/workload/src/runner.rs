@@ -10,17 +10,123 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rmm_geom::Point;
 use rmm_mac::{FrameKindCounts, MacNode, Outcome, ProtocolKind};
-use rmm_sim::{Engine, Trace};
+use rmm_sim::{Engine, MsgId, NodeId, Slot, Trace};
 use rmm_stats::{MessageMetric, RunMetrics};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Dedicated seed stream for the burst-error channel ("burst").
+const BURST_SEED: u64 = 0x0062_7572_7374;
 
 /// Gaussian sample via Box–Muller (keeps the dependency set small).
 fn gaussian(rng: &mut SmallRng, sigma: f64) -> f64 {
     let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
     let u2: f64 = rng.random::<f64>();
     sigma * (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// One liveness-watchdog finding: a sender that sat on an active message
+/// for a whole watchdog window without putting a single frame on the
+/// air. A healthy MAC always either transmits or times the message out,
+/// so a stall indicates a wedged protocol state machine (or a retry
+/// policy with no bound).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StallReport {
+    /// The wedged sender.
+    pub node: NodeId,
+    /// The message it is stuck on.
+    pub msg: MsgId,
+    /// When the message arrived at the MAC.
+    pub arrival: Slot,
+    /// When its service began.
+    pub started: Slot,
+    /// The sender's last transmission of any kind, if it ever sent one.
+    pub last_tx: Option<Slot>,
+    /// The watchdog check that caught it.
+    pub detected_at: Slot,
+    /// The configured watchdog window (slots).
+    pub window: u64,
+}
+
+/// Files a [`StallReport`] for every node holding an active message that
+/// has not transmitted for at least `window` slots. Read-only: safe to
+/// call between engine steps without perturbing the run. Each `(node,
+/// msg)` pair is reported at most once. Nodes whose injected faults
+/// currently block transmission are skipped: a crashed or muted sender
+/// is *known* impaired, not a wedged protocol.
+fn check_stalls(
+    engine: &Engine,
+    nodes: &[MacNode],
+    now: Slot,
+    window: u64,
+    stalls: &mut Vec<StallReport>,
+) {
+    for node in nodes {
+        let id = node.core().id;
+        if engine.faults().blocks_tx(id, now) {
+            continue;
+        }
+        let Some((msg, arrival, started)) = node.active_msg() else {
+            continue;
+        };
+        let last_tx = engine.last_tx(id);
+        let progress = last_tx.map_or(started, |l| l.max(started));
+        if now.saturating_sub(progress) >= window
+            && !stalls.iter().any(|s| s.node == id && s.msg == msg)
+        {
+            stalls.push(StallReport {
+                node: id,
+                msg,
+                arrival,
+                started,
+                last_tx,
+                detected_at: now,
+                window,
+            });
+        }
+    }
+}
+
+/// Assembles ground-truth per-message delivery metrics from the senders'
+/// records and the receivers' ledgers. Only messages whose full timeout
+/// window fits inside the run are counted, so late arrivals don't read
+/// as spurious failures. Receivers impaired by the fault plan at any
+/// point in the message's service window count as unreachable, feeding
+/// the reachable-vs-faulted metric split.
+fn collect_messages(nodes: &[MacNode], scenario: &Scenario) -> Vec<MessageMetric> {
+    let cutoff = scenario.sim_slots.saturating_sub(scenario.timing.timeout);
+    let mut messages = Vec::new();
+    for node in nodes {
+        for rec in node.records() {
+            if rec.arrival > cutoff {
+                continue;
+            }
+            let window_end = rec.arrival.saturating_add(scenario.timing.timeout);
+            let (mut delivered, mut reachable, mut delivered_reachable) = (0, 0, 0);
+            for r in &rec.intended {
+                let got = nodes[r.index()].received().contains(&rec.msg);
+                delivered += usize::from(got);
+                if !scenario.faults.impaired_during(*r, rec.arrival, window_end) {
+                    reachable += 1;
+                    delivered_reachable += usize::from(got);
+                }
+            }
+            messages.push(MessageMetric {
+                is_group: rec.is_group(),
+                intended: rec.intended.len(),
+                delivered,
+                reachable,
+                delivered_reachable,
+                completed: rec.outcome.is_completed(),
+                timed_out: matches!(rec.outcome, Outcome::TimedOut(_)),
+                contention_phases: rec.contention_phases,
+                completion_time: rec.completion_time(),
+                arrival: rec.arrival,
+            });
+        }
+    }
+    messages
 }
 
 /// The result of one simulation run.
@@ -44,6 +150,9 @@ pub struct RunResult {
     /// Fraction of slots with at least one transmission on the air
     /// somewhere in the network.
     pub utilization: f64,
+    /// Liveness-watchdog findings (empty unless `scenario.stall_window`
+    /// is set and some sender made no forward progress for a window).
+    pub stalls: Vec<StallReport>,
     /// Run provenance: scenario, protocol, seed, and wall-clock phases.
     pub manifest: RunManifest,
 }
@@ -123,11 +232,18 @@ fn run_one_impl(
     if scenario.fer > 0.0 {
         engine.set_fer(scenario.fer);
     }
+    if !scenario.faults.is_empty() {
+        engine.set_faults(scenario.faults.clone());
+    }
+    if let Some(model) = scenario.burst {
+        engine.set_burst(model, seed ^ BURST_SEED);
+    }
     if traced {
         engine.enable_trace();
     }
     let mut traffic = TrafficGen::new(scenario.msg_rate, scenario.mix, seed);
     let mut arrivals = Vec::new();
+    let mut stalls = Vec::new();
     let setup_us = t_setup.elapsed().as_micros() as u64;
 
     let t_simulate = Instant::now();
@@ -147,6 +263,20 @@ fn run_one_impl(
             for a in &arrivals {
                 nodes[a.node.index()].enqueue(a.kind, a.receivers.clone(), t);
             }
+        }
+        // The watchdog inspects the network at multiples of its window,
+        // before slot `t` is simulated (the fast path catches the engine
+        // up first; chunked `advance_to` is bit-exact, so enabling the
+        // watchdog never changes the run itself).
+        if let Some(w) = scenario.stall_window {
+            if t > 0 && t % w == 0 {
+                if fast {
+                    engine.advance_to(&mut nodes, t);
+                }
+                check_stalls(&engine, &nodes, t, w, &mut stalls);
+            }
+        }
+        if !fast {
             engine.step(&mut nodes);
         }
     }
@@ -159,33 +289,7 @@ fn run_one_impl(
     let simulate_us = t_simulate.elapsed().as_micros() as u64;
 
     let t_collect = Instant::now();
-    // Assemble ground-truth delivery per message. Only messages whose
-    // full timeout window fits inside the run are counted, so late
-    // arrivals don't read as spurious failures.
-    let cutoff = scenario.sim_slots.saturating_sub(scenario.timing.timeout);
-    let mut messages = Vec::new();
-    for node in &nodes {
-        for rec in node.records() {
-            if rec.arrival > cutoff {
-                continue;
-            }
-            let delivered = rec
-                .intended
-                .iter()
-                .filter(|r| nodes[r.index()].received().contains(&rec.msg))
-                .count();
-            messages.push(MessageMetric {
-                is_group: rec.is_group(),
-                intended: rec.intended.len(),
-                delivered,
-                completed: rec.outcome.is_completed(),
-                timed_out: matches!(rec.outcome, Outcome::TimedOut(_)),
-                contention_phases: rec.contention_phases,
-                completion_time: rec.completion_time(),
-                arrival: rec.arrival,
-            });
-        }
-    }
+    let messages = collect_messages(&nodes, scenario);
     let group: Vec<MessageMetric> = messages.iter().filter(|m| m.is_group).cloned().collect();
     let unicast: Vec<MessageMetric> = messages.iter().filter(|m| !m.is_group).cloned().collect();
     let mut frames = FrameKindCounts::default();
@@ -202,8 +306,9 @@ fn run_one_impl(
         collisions: engine.channel().collisions_total,
         utilization: engine.channel().busy_slots as f64 / scenario.sim_slots as f64,
         frames,
+        stalls,
         manifest: RunManifest {
-            scenario: *scenario,
+            scenario: scenario.clone(),
             protocol,
             seed,
             slot_budget: scenario.sim_slots,
@@ -273,8 +378,15 @@ fn run_mobile_impl(
     if scenario.fer > 0.0 {
         engine.set_fer(scenario.fer);
     }
+    if !scenario.faults.is_empty() {
+        engine.set_faults(scenario.faults.clone());
+    }
+    if let Some(model) = scenario.burst {
+        engine.set_burst(model, seed ^ BURST_SEED);
+    }
     let mut traffic = TrafficGen::new(scenario.msg_rate, scenario.mix, seed);
     let mut arrivals = Vec::new();
+    let mut stalls = Vec::new();
     let setup_us = t_setup.elapsed().as_micros() as u64;
 
     let t_simulate = Instant::now();
@@ -308,6 +420,14 @@ fn run_mobile_impl(
         for a in &arrivals {
             nodes[a.node.index()].enqueue(a.kind, a.receivers.clone(), t);
         }
+        if let Some(w) = scenario.stall_window {
+            if t > 0 && t % w == 0 {
+                if fast {
+                    engine.advance_to(&mut nodes, t);
+                }
+                check_stalls(&engine, &nodes, t, w, &mut stalls);
+            }
+        }
         if !fast {
             engine.step(&mut nodes);
         }
@@ -321,30 +441,7 @@ fn run_mobile_impl(
     let simulate_us = t_simulate.elapsed().as_micros() as u64;
 
     let t_collect = Instant::now();
-    let cutoff = scenario.sim_slots.saturating_sub(scenario.timing.timeout);
-    let mut messages = Vec::new();
-    for node in &nodes {
-        for rec in node.records() {
-            if rec.arrival > cutoff {
-                continue;
-            }
-            let delivered = rec
-                .intended
-                .iter()
-                .filter(|r| nodes[r.index()].received().contains(&rec.msg))
-                .count();
-            messages.push(MessageMetric {
-                is_group: rec.is_group(),
-                intended: rec.intended.len(),
-                delivered,
-                completed: rec.outcome.is_completed(),
-                timed_out: matches!(rec.outcome, Outcome::TimedOut(_)),
-                contention_phases: rec.contention_phases,
-                completion_time: rec.completion_time(),
-                arrival: rec.arrival,
-            });
-        }
-    }
+    let messages = collect_messages(&nodes, scenario);
     let group: Vec<MessageMetric> = messages.iter().filter(|m| m.is_group).cloned().collect();
     let unicast: Vec<MessageMetric> = messages.iter().filter(|m| !m.is_group).cloned().collect();
     let mut frames = FrameKindCounts::default();
@@ -361,8 +458,9 @@ fn run_mobile_impl(
         collisions: engine.channel().collisions_total,
         utilization: engine.channel().busy_slots as f64 / scenario.sim_slots as f64,
         frames,
+        stalls,
         manifest: RunManifest {
-            scenario: *scenario,
+            scenario: scenario.clone(),
             protocol,
             seed,
             slot_budget: scenario.sim_slots,
@@ -449,6 +547,11 @@ pub fn mean_group_metrics(results: &[RunResult]) -> RunMetrics {
             .map(|r| r.group_metrics.avg_delivered_frac)
             .sum::<f64>()
             / n,
+        avg_reachable_frac: results
+            .iter()
+            .map(|r| r.group_metrics.avg_reachable_frac)
+            .sum::<f64>()
+            / n,
     }
 }
 
@@ -464,6 +567,57 @@ mod tests {
             msg_rate: 1e-3,
             ..Scenario::default()
         }
+    }
+
+    #[test]
+    fn watchdog_flags_a_silent_sender_and_skips_fault_blocked_nodes() {
+        use rmm_mac::MacTiming;
+        use rmm_sim::{Capture, FaultPlan, Topology};
+
+        // Two nodes in range; node 0 multicasts to node 1 with an
+        // effectively infinite service timeout, so the message is still
+        // active long after its last transmission.
+        let build = |faults: FaultPlan| {
+            let topo = Topology::new(vec![Point::new(0.4, 0.5), Point::new(0.6, 0.5)], 0.3);
+            let timing = MacTiming {
+                timeout: 1_000_000,
+                retry_limit: u32::MAX,
+                dest_retry_limit: u32::MAX,
+                ..Default::default()
+            };
+            let mut nodes = MacNode::build_network(&topo, ProtocolKind::Bmw, timing, 9);
+            let mut engine = Engine::new(topo, Capture::ZorziRao, 9);
+            engine.set_faults(faults);
+            nodes[0].enqueue(rmm_mac::TrafficKind::Multicast, vec![NodeId(1)], 0);
+            engine.run(&mut nodes, 50);
+            (engine, nodes)
+        };
+
+        let (engine, nodes) = build(FaultPlan::new().crash(NodeId(1), 0));
+        let last = engine.last_tx(NodeId(0)).expect("sender transmitted");
+        let mut stalls = Vec::new();
+        // Inside the window: quiet.
+        check_stalls(&engine, &nodes, last + 10, 200, &mut stalls);
+        assert!(stalls.is_empty(), "{stalls:?}");
+        // A full window with no transmission: reported, exactly once.
+        check_stalls(&engine, &nodes, last + 200, 200, &mut stalls);
+        assert_eq!(stalls.len(), 1, "{stalls:?}");
+        assert_eq!(stalls[0].node, NodeId(0));
+        assert_eq!(stalls[0].last_tx, Some(last));
+        check_stalls(&engine, &nodes, last + 400, 200, &mut stalls);
+        assert_eq!(stalls.len(), 1, "same (node, msg) reported twice");
+
+        // The same silence from a TX-muted sender is expected impairment,
+        // not a wedged FSM: never reported.
+        let (engine, nodes) = build(
+            FaultPlan::new()
+                .mute(NodeId(0), 0, 1_000_000)
+                .crash(NodeId(1), 0),
+        );
+        assert_eq!(engine.last_tx(NodeId(0)), None);
+        let mut stalls = Vec::new();
+        check_stalls(&engine, &nodes, 10_000, 200, &mut stalls);
+        assert!(stalls.is_empty(), "{stalls:?}");
     }
 
     #[test]

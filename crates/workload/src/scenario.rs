@@ -2,12 +2,12 @@
 
 use crate::traffic::TrafficMix;
 use rmm_mac::MacTiming;
-use rmm_sim::Capture;
+use rmm_sim::{Capture, FaultPlan, GilbertElliott};
 use serde::{Deserialize, Serialize};
 
 /// A complete simulation scenario. [`Scenario::default`] is the paper's
 /// Table 2 configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Scenario {
     /// Number of stations (paper: 100).
     pub n_nodes: usize,
@@ -34,6 +34,17 @@ pub struct Scenario {
     pub timing: MacTiming,
     /// Number of independent runs to average (paper: 100).
     pub n_runs: usize,
+    /// Scheduled node faults (crash / deaf / TX-mute). Empty by default;
+    /// an empty plan leaves the run bit-identical to a fault-free build.
+    pub faults: FaultPlan,
+    /// Gilbert–Elliott burst-error channel, applied per receiver on its
+    /// own RNG stream. `None` keeps the i.i.d. `fer` model only.
+    pub burst: Option<GilbertElliott>,
+    /// Liveness watchdog period in slots: every multiple of this window
+    /// the runner checks each sender for forward progress and files a
+    /// [`StallReport`](crate::StallReport) for wedged ones. `None`
+    /// disables the watchdog.
+    pub stall_window: Option<u64>,
 }
 
 impl Default for Scenario {
@@ -50,6 +61,9 @@ impl Default for Scenario {
             position_noise: 0.0,
             timing: MacTiming::default(),
             n_runs: 100,
+            faults: FaultPlan::new(),
+            burst: None,
+            stall_window: None,
         }
     }
 }
@@ -90,6 +104,24 @@ impl Scenario {
         self.position_noise = sigma;
         self
     }
+
+    /// Scenario with a fault plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Scenario with a Gilbert–Elliott burst-error channel.
+    pub fn with_burst(mut self, model: GilbertElliott) -> Self {
+        self.burst = Some(model);
+        self
+    }
+
+    /// Scenario with the liveness watchdog enabled at the given period.
+    pub fn with_stall_window(mut self, window: u64) -> Self {
+        self.stall_window = Some(window);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -111,6 +143,9 @@ mod tests {
         assert_eq!(s.mix.broadcast, 0.4);
         assert_eq!(s.n_runs, 100);
         assert_eq!(s.capture, Capture::ZorziRao);
+        assert!(s.faults.is_empty());
+        assert!(s.burst.is_none());
+        assert!(s.stall_window.is_none());
     }
 
     #[test]
@@ -129,6 +164,14 @@ mod tests {
     #[test]
     fn scenario_serializes() {
         let s = Scenario::default();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Scenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+        // With the fault machinery configured, too.
+        let s = Scenario::default()
+            .with_faults(FaultPlan::parse("crash:5@1000;deaf:3@200..800").unwrap())
+            .with_burst(GilbertElliott::new(0.05, 0.25))
+            .with_stall_window(500);
         let json = serde_json::to_string(&s).unwrap();
         let back: Scenario = serde_json::from_str(&json).unwrap();
         assert_eq!(s, back);

@@ -9,7 +9,7 @@
 //! networks, and under mobility.
 
 use rmm_mac::ProtocolKind;
-use rmm_sim::Trace;
+use rmm_sim::{FaultPlan, GilbertElliott, Trace, TraceEvent};
 use rmm_workload::{
     collect_metrics, run_mobile, run_mobile_naive, run_one_traced, run_one_traced_naive,
     MobilityConfig, PhaseTimings, RunResult, Scenario,
@@ -117,6 +117,58 @@ fn fast_stepping_preserves_channel_rng_stream() {
     for seed in [21, 22, 23] {
         assert_bit_exact(&scenario, ProtocolKind::Bmmm, seed, "fer");
     }
+}
+
+/// Fault injection and the burst-error channel are the newest pressure
+/// on the fast path: crashes re-route frames, the burst chains consume
+/// their own RNG stream per reception, give-ups change FSM control flow,
+/// and the watchdog forces extra `advance_to` calls at window
+/// boundaries. All of it must stay bit-exact — and actually fire.
+#[test]
+fn fast_stepping_is_bit_exact_under_faults() {
+    // The service timeout is stretched and the per-destination budget
+    // tightened so senders actually reach the give-up path before the
+    // message times out.
+    let timing = rmm_mac::MacTiming {
+        timeout: 500,
+        dest_retry_limit: 3,
+        ..Default::default()
+    };
+    let scenario = Scenario {
+        n_nodes: 25,
+        sim_slots: 2_500,
+        n_runs: 1,
+        msg_rate: 2e-3,
+        timing,
+        ..Scenario::default()
+    }
+    .with_faults(
+        FaultPlan::new()
+            .crash(rmm_sim::NodeId(3), 400)
+            .crash(rmm_sim::NodeId(11), 900)
+            .deaf(rmm_sim::NodeId(5), 200, 1_200)
+            .mute(rmm_sim::NodeId(7), 600, 1_800),
+    )
+    .with_burst(GilbertElliott::new(0.05, 0.25))
+    .with_stall_window(500);
+    let mut give_ups = 0usize;
+    let mut faulted_receiver_seen = false;
+    for protocol in ALL_PROTOCOLS {
+        for seed in [41, 42] {
+            let (result, trace) = assert_bit_exact(&scenario, protocol, seed, "faults");
+            give_ups += trace
+                .events()
+                .iter()
+                .filter(|e| matches!(e, TraceEvent::GiveUp { .. }))
+                .count();
+            faulted_receiver_seen |= result.messages.iter().any(|m| m.reachable < m.intended);
+        }
+    }
+    assert!(give_ups > 0, "fault scenario produced no give-up events");
+    assert!(
+        faulted_receiver_seen,
+        "no message ever had a faulted receiver"
+    );
 }
 
 /// Mobility injects topology swaps and beacon refreshes mid-run; the

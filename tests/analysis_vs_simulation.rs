@@ -20,10 +20,14 @@ fn star(n: usize) -> Topology {
 }
 
 /// One clean-channel multicast; returns the contention phases used. The
-/// service timeout is raised so the protocol always runs to completion.
+/// service timeout is raised and the retry budgets disabled so the
+/// protocol always runs to completion (the closed forms model unbounded
+/// geometric retrying).
 fn phases_one(protocol: ProtocolKind, n: usize, seed: u64) -> f64 {
     let timing = rmm::mac::MacTiming {
         timeout: 5_000,
+        retry_limit: u32::MAX,
+        dest_retry_limit: u32::MAX,
         ..Default::default()
     };
     let topo = star(n);

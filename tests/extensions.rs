@@ -113,7 +113,10 @@ fn frame_errors_break_lamm_coverage_assumption() {
     let violations = |fer: f64| -> usize {
         let mut total = 0;
         for seed in 0..4 {
-            let s = Scenario { fer, ..base };
+            let s = Scenario {
+                fer,
+                ..base.clone()
+            };
             let r = run_one(&s, ProtocolKind::Lamm, seed);
             total += r
                 .messages
