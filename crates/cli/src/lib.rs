@@ -4,7 +4,9 @@
 //! rmm run     --protocol lamm [--config s.json] [--nodes N] [--slots N]
 //!             [--rate X] [--timeout N] [--runs N] [--seed N] [--json]
 //!             [--trace-out t.jsonl] [--metrics-out m.json]
+//!             [--jobs N] [--manifest f.jsonl] [--resume]
 //! rmm compare [--config s.json] [same overrides] [--metrics-out m.json]
+//!             [--jobs N]
 //! rmm trace   --protocol bmmm [--seed N] [overrides]  # JSONL to stdout
 //! rmm config  # emit a default scenario JSON template to stdout
 //! ```
@@ -16,12 +18,27 @@
 //! seed and exports the protocol event log as JSON Lines plus a metrics
 //! registry derived from it.
 
+use rmm::fleet::{run_sweep, Fnv1a, JobId, SweepConfig};
 use rmm::mac::ProtocolKind;
 use rmm::sim::{FaultPlan, GilbertElliott};
 use rmm::stats::{Summary, Table};
 use rmm::workload::{
-    collect_metrics, mean_group_metrics, run_many_seeded, run_one_traced, Scenario,
+    collect_metrics, mean_group_metrics, run_many_jobs, run_one, run_one_traced, RunResult,
+    Scenario,
 };
+
+/// How a run sweep is executed: worker count and optional resumable
+/// manifest (`--jobs`, `--manifest`, `--resume`).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SweepOpts {
+    /// Fleet worker threads (0 = one per available core). Results are
+    /// identical at any value.
+    pub jobs: usize,
+    /// Manifest file recording completed runs for `--resume`.
+    pub manifest: Option<String>,
+    /// Reuse completed runs from the manifest instead of re-executing.
+    pub resume: bool,
+}
 
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -40,6 +57,8 @@ pub enum Command {
         trace_out: Option<String>,
         /// Write a traced run's metrics registry (JSON) to this file.
         metrics_out: Option<String>,
+        /// Parallelism and resume options.
+        sweep: SweepOpts,
     },
     /// Run every protocol on the same scenario and print the comparison.
     Compare {
@@ -51,6 +70,8 @@ pub enum Command {
         json: bool,
         /// Write per-protocol traced-run metrics (JSON) to this file.
         metrics_out: Option<String>,
+        /// Fleet worker threads (0 = one per available core).
+        jobs: usize,
     },
     /// Execute one traced run and export its event log.
     Trace {
@@ -128,6 +149,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
             let mut json = false;
             let mut trace_out = None;
             let mut metrics_out = None;
+            let mut sweep = SweepOpts::default();
             let rest: Vec<String> = args.collect();
             let mut i = 0;
             let value = |rest: &[String], i: usize, flag: &str| -> Result<String, CliError> {
@@ -212,8 +234,25 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
                         json = true;
                         i += 1;
                     }
+                    "--jobs" if sub != "trace" => {
+                        sweep.jobs = parse_num(&rest, i, "--jobs")?;
+                        i += 2;
+                    }
+                    "--manifest" if sub == "run" => {
+                        sweep.manifest = Some(value(&rest, i, "--manifest")?);
+                        i += 2;
+                    }
+                    "--resume" if sub == "run" => {
+                        sweep.resume = true;
+                        i += 1;
+                    }
                     other => return Err(CliError::Unknown(other.to_string())),
                 }
+            }
+            if sweep.resume && sweep.manifest.is_none() {
+                return Err(CliError::BadValue(
+                    "--resume (requires --manifest <file>)".into(),
+                ));
             }
             match sub.as_str() {
                 "run" => Ok(Command::Run {
@@ -223,6 +262,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
                     json,
                     trace_out,
                     metrics_out,
+                    sweep,
                 }),
                 "trace" => Ok(Command::Trace {
                     protocol: protocol.ok_or(CliError::MissingProtocol)?,
@@ -236,6 +276,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
                     seed,
                     json,
                     metrics_out,
+                    jobs: sweep.jobs,
                 }),
             }
         }
@@ -257,9 +298,58 @@ fn parse_burst(v: &str) -> Option<GilbertElliott> {
     ((0.0..=1.0).contains(&p) && (0.0..=1.0).contains(&r)).then_some(GilbertElliott { p, r })
 }
 
-/// Renders one protocol's results.
-pub fn render_run(protocol: ProtocolKind, scenario: &Scenario, seed: u64, json: bool) -> String {
-    let results = run_many_seeded(scenario, protocol, seed);
+/// Executes the `run` sweep: `scenario.n_runs` seeds from `seed`, on
+/// `sweep.jobs` workers, optionally recorded in (and resumed from) a
+/// manifest. Results come back seed-ordered — identical at any worker
+/// count. Errors on a stale or corrupt manifest.
+fn sweep_runs(
+    protocol: ProtocolKind,
+    scenario: &Scenario,
+    seed: u64,
+    sweep: &SweepOpts,
+) -> Result<Vec<RunResult>, String> {
+    let Some(path) = &sweep.manifest else {
+        return Ok(run_many_jobs(scenario, protocol, seed, sweep.jobs));
+    };
+    let ids: Vec<(JobId, ())> = (0..scenario.n_runs as u64)
+        .map(|s| (JobId::new("cli-run", protocol.name(), seed + s), ()))
+        .collect();
+    let mut h = Fnv1a::new();
+    h.write_str(protocol.name());
+    h.write_u64(seed);
+    h.write_str(&serde_json::to_string(scenario).expect("scenario serializes"));
+    let config = SweepConfig {
+        name: "cli-run".to_string(),
+        workers: sweep.jobs,
+        resume: sweep.resume,
+        manifest_path: Some(path.into()),
+        options_hash: h.finish(),
+        quiet: true,
+    };
+    match run_sweep(&config, &ids, |id, _| run_one(scenario, protocol, id.seed)) {
+        Ok(out) => {
+            if out.reused > 0 {
+                eprintln!(
+                    "[reused {} completed runs from {path}, ran {}]",
+                    out.reused, out.executed
+                );
+            }
+            Ok(out.results)
+        }
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+/// Renders one protocol's results. Errors if the sweep manifest cannot
+/// be used (stale or corrupt).
+pub fn render_run(
+    protocol: ProtocolKind,
+    scenario: &Scenario,
+    seed: u64,
+    json: bool,
+    sweep: &SweepOpts,
+) -> Result<String, String> {
+    let results = sweep_runs(protocol, scenario, seed, sweep)?;
     let m = mean_group_metrics(&results);
     let delivery: Vec<f64> = results
         .iter()
@@ -268,7 +358,7 @@ pub fn render_run(protocol: ProtocolKind, scenario: &Scenario, seed: u64, json: 
     let ci = Summary::of(&delivery);
     let stalls: usize = results.iter().map(|r| r.stalls.len()).sum();
     if json {
-        serde_json::json!({
+        Ok(serde_json::json!({
             "protocol": protocol.name(),
             "runs": results.len(),
             "mean_degree": results.iter().map(|r| r.mean_degree).sum::<f64>() / results.len() as f64,
@@ -281,7 +371,7 @@ pub fn render_run(protocol: ProtocolKind, scenario: &Scenario, seed: u64, json: 
             "utilization": results.iter().map(|r| r.utilization).sum::<f64>() / results.len() as f64,
             "reliable": protocol.is_reliable(),
         })
-        .to_string()
+        .to_string())
     } else {
         let mut t = Table::new(["metric", "value"]);
         t.row(["protocol".to_string(), protocol.name().to_string()]);
@@ -315,15 +405,16 @@ pub fn render_run(protocol: ProtocolKind, scenario: &Scenario, seed: u64, json: 
             "reliable protocol".to_string(),
             if protocol.is_reliable() { "yes" } else { "no" }.to_string(),
         ]);
-        t.render()
+        Ok(t.render())
     }
 }
 
-/// Renders the all-protocol comparison.
-pub fn render_compare(scenario: &Scenario, seed: u64, json: bool) -> String {
+/// Renders the all-protocol comparison on `jobs` fleet workers
+/// (0 = one per core; output identical at any value).
+pub fn render_compare(scenario: &Scenario, seed: u64, json: bool, jobs: usize) -> String {
     let mut rows = Vec::new();
     for protocol in ProtocolKind::ALL {
-        let results = run_many_seeded(scenario, protocol, seed);
+        let results = run_many_jobs(scenario, protocol, seed, jobs);
         let m = mean_group_metrics(&results);
         rows.push((protocol, m));
     }
@@ -433,6 +524,10 @@ options:
   --trace-out <file>      write the traced run's events as JSON Lines
                           (run/trace; trace prints to stdout by default)
   --metrics-out <file>    write trace-derived counters/histograms as JSON
+  --jobs N                worker threads for the run sweep (run/compare;
+                          0 = one per core; results identical at any N)
+  --manifest <file>       record completed runs for later --resume (run)
+  --resume                reuse completed runs from --manifest (run)
 ";
 
 #[cfg(test)]
@@ -466,6 +561,7 @@ mod tests {
                 json,
                 trace_out,
                 metrics_out,
+                sweep,
             } => {
                 assert_eq!(protocol, ProtocolKind::Lamm);
                 assert_eq!(scenario.n_nodes, 50);
@@ -475,6 +571,7 @@ mod tests {
                 assert!(json);
                 assert_eq!(trace_out, None);
                 assert_eq!(metrics_out, None);
+                assert_eq!(sweep, SweepOpts::default());
             }
             other => panic!("{other:?}"),
         }
@@ -619,13 +716,105 @@ mod tests {
             n_runs: 1,
             ..Scenario::default()
         };
-        let text = render_run(ProtocolKind::Bmmm, &scenario, 0, false);
+        let opts = SweepOpts::default();
+        let text = render_run(ProtocolKind::Bmmm, &scenario, 0, false, &opts).unwrap();
         assert!(text.contains("delivery rate"));
         assert!(text.contains("BMMM"));
-        let json = render_run(ProtocolKind::Bmmm, &scenario, 0, true);
+        let json = render_run(ProtocolKind::Bmmm, &scenario, 0, true, &opts).unwrap();
         let v: serde_json::Value = serde_json::from_str(&json).unwrap();
         assert_eq!(v["protocol"], "BMMM");
         assert!(v["delivery_rate"]["mean"].as_f64().unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn parse_sweep_flags() {
+        let cmd = parse_args(args(
+            "run --protocol bmmm --runs 2 --jobs 4 --manifest m.jsonl --resume",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Run { sweep, .. } => {
+                assert_eq!(sweep.jobs, 4);
+                assert_eq!(sweep.manifest.as_deref(), Some("m.jsonl"));
+                assert!(sweep.resume);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(
+            parse_args(args("compare --jobs 2")),
+            Ok(Command::Compare { jobs: 2, .. })
+        ));
+        // --resume without --manifest has nothing to resume from.
+        assert!(matches!(
+            parse_args(args("run --protocol bmmm --resume")),
+            Err(CliError::BadValue(_))
+        ));
+        // trace is a single run; sweep flags make no sense there.
+        assert!(matches!(
+            parse_args(args("trace --protocol bmmm --jobs 2")),
+            Err(CliError::Unknown(_))
+        ));
+        assert!(matches!(
+            parse_args(args("compare --manifest m.jsonl")),
+            Err(CliError::Unknown(_))
+        ));
+    }
+
+    #[test]
+    fn run_output_is_identical_at_any_jobs_and_resumes_from_manifest() {
+        let scenario = Scenario {
+            n_nodes: 25,
+            sim_slots: 1_200,
+            n_runs: 4,
+            ..Scenario::default()
+        };
+        let serial =
+            render_run(ProtocolKind::Bmw, &scenario, 3, true, &SweepOpts::default()).unwrap();
+        let parallel = render_run(
+            ProtocolKind::Bmw,
+            &scenario,
+            3,
+            true,
+            &SweepOpts {
+                jobs: 4,
+                ..SweepOpts::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(serial, parallel, "output must not depend on --jobs");
+
+        let dir = std::env::temp_dir().join("rmm_cli_sweep_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let manifest = dir.join("run.manifest.jsonl").display().to_string();
+        let with_manifest = render_run(
+            ProtocolKind::Bmw,
+            &scenario,
+            3,
+            true,
+            &SweepOpts {
+                jobs: 2,
+                manifest: Some(manifest.clone()),
+                resume: false,
+            },
+        )
+        .unwrap();
+        assert_eq!(serial, with_manifest);
+        // Resume with everything already recorded: identical output again.
+        let resumed = render_run(
+            ProtocolKind::Bmw,
+            &scenario,
+            3,
+            true,
+            &SweepOpts {
+                jobs: 2,
+                manifest: Some(manifest),
+                resume: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(serial, resumed);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

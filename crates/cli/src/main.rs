@@ -29,8 +29,15 @@ fn main() {
             json,
             trace_out,
             metrics_out,
+            sweep,
         } => {
-            print!("{}", render_run(protocol, &scenario, seed, json));
+            match render_run(protocol, &scenario, seed, json, &sweep) {
+                Ok(text) => print!("{text}"),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(2);
+                }
+            }
             if !json {
                 println!();
             }
@@ -50,8 +57,9 @@ fn main() {
             seed,
             json,
             metrics_out,
+            jobs,
         } => {
-            print!("{}", render_compare(&scenario, seed, json));
+            print!("{}", render_compare(&scenario, seed, json, jobs));
             if !json {
                 println!();
             }

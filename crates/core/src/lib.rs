@@ -17,6 +17,7 @@
 //! | [`sim`] | `rmm-sim` | slotted engine, disk channel, collisions, DS capture |
 //! | [`mac`] | `rmm-mac` | BMMM, LAMM, BMW, BSMA, Tang–Gerla, 802.11, DCF |
 //! | [`workload`] | `rmm-workload` | placement, traffic mix, parallel runner |
+//! | [`fleet`] | `rmm-fleet` | parallel sweep pool, resumable manifest, deterministic merge |
 //! | [`stats`] | `rmm-stats` | delivery rate / contention / completion metrics |
 //! | [`analysis`] | `rmm-analysis` | Section 6 closed forms (Table 1, Figure 5) |
 //!
@@ -57,6 +58,12 @@ pub mod mac {
 /// Scenarios, traffic and the parallel runner.
 pub mod workload {
     pub use rmm_workload::*;
+}
+
+/// Parallel sweep orchestration: worker pool, resumable manifest,
+/// deterministic (input-order) result merge.
+pub mod fleet {
+    pub use rmm_fleet::*;
 }
 
 /// Metrics and statistics.

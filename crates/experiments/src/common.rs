@@ -1,8 +1,12 @@
-//! Shared experiment plumbing: configuration, output, protocol lists.
+//! Shared experiment plumbing: configuration, output, protocol lists,
+//! and the fleet bridge that runs every sweep's job grid in parallel
+//! with a resumable manifest.
 
+use rmm_fleet::{run_sweep, Fnv1a, JobId, SweepConfig};
 use rmm_mac::ProtocolKind;
 use rmm_plot::Chart;
 use rmm_stats::Table;
+use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
 
 /// The four protocols the paper simulates, in its plotting order.
@@ -22,6 +26,10 @@ pub struct Options {
     pub slots: u64,
     /// Output directory for CSV/JSON artifacts.
     pub out_dir: PathBuf,
+    /// Fleet worker threads (`--jobs N`; 0 = one per available core).
+    pub jobs: usize,
+    /// Reuse completed jobs from each experiment's manifest (`--resume`).
+    pub resume: bool,
 }
 
 impl Default for Options {
@@ -30,6 +38,8 @@ impl Default for Options {
             runs: 100,
             slots: 10_000,
             out_dir: PathBuf::from("results"),
+            jobs: 0,
+            resume: false,
         }
     }
 }
@@ -40,6 +50,65 @@ impl Options {
         self.runs = 10;
         self.slots = 4_000;
         self
+    }
+}
+
+/// Runs `jobs` for `experiment` on the fleet and returns their results
+/// in job (input) order, so the output is identical at any `--jobs`
+/// value.
+///
+/// A manifest at `out_dir/<experiment>.manifest.jsonl` records each
+/// completed job; with `--resume`, jobs already recorded there are
+/// loaded back instead of re-executed. `hash_parts` must describe
+/// everything that affects results beyond the job ids themselves
+/// (serialized scenarios, analysis parameters, …): together with the
+/// global options and the full id grid they form the manifest's options
+/// hash, so a stale manifest can never be silently merged. A stale or
+/// corrupt manifest is a hard error (rerun without `--resume` to start
+/// fresh).
+pub fn run_grid<J, R>(
+    options: &Options,
+    experiment: &str,
+    hash_parts: &[String],
+    jobs: &[(JobId, J)],
+    run: impl Fn(&JobId, &J) -> R + Sync,
+) -> Vec<R>
+where
+    J: Sync,
+    R: Serialize + Deserialize + Send,
+{
+    let mut h = Fnv1a::new();
+    h.write_str(experiment);
+    h.write_u64(options.runs as u64);
+    h.write_u64(options.slots);
+    for part in hash_parts {
+        h.write_str(part);
+    }
+    for (id, _) in jobs {
+        h.write_str(&id.to_string());
+    }
+    let config = SweepConfig {
+        name: experiment.to_string(),
+        workers: options.jobs,
+        resume: options.resume,
+        manifest_path: Some(options.out_dir.join(format!("{experiment}.manifest.jsonl"))),
+        options_hash: h.finish(),
+        quiet: false,
+    };
+    match run_sweep(&config, jobs, run) {
+        Ok(out) => {
+            if out.reused > 0 {
+                eprintln!(
+                    "[{experiment}: reused {} completed jobs from the manifest, ran {}]",
+                    out.reused, out.executed
+                );
+            }
+            out.results
+        }
+        Err(e) => {
+            eprintln!("error: {experiment}: {e}");
+            std::process::exit(2);
+        }
     }
 }
 

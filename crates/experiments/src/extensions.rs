@@ -9,12 +9,15 @@
 //! * `mobility` — all protocols under random-waypoint motion with stale
 //!   beacon-learned neighbor tables.
 
-use crate::common::{emit, f2, f3, Options, PAPER_PROTOCOLS};
+use crate::common::{emit, f2, f3, run_grid, Options, PAPER_PROTOCOLS};
+use crate::sweeps::{run_cells, Cell};
+use rmm_fleet::JobId;
 use rmm_mac::ProtocolKind;
 use rmm_route::{DiscoveryConfig, RouteSim};
 use rmm_sim::FaultPlan;
 use rmm_stats::{Summary, Table};
-use rmm_workload::{run_many_seeded, run_mobile, MobilityConfig, Scenario};
+use rmm_workload::{run_mobile, MobilityConfig, Scenario};
+use serde::{Deserialize, Serialize};
 
 fn base(options: &Options) -> Scenario {
     Scenario {
@@ -39,9 +42,17 @@ pub fn overhead(options: &Options) {
     ]);
     let mut protos = vec![ProtocolKind::Ieee80211, ProtocolKind::TangGerla];
     protos.extend(PAPER_PROTOCOLS);
-    for p in protos {
-        eprintln!("[overhead {}]", p.name());
-        let results = run_many_seeded(&scenario, p, 50_000);
+    let cells: Vec<Cell> = protos
+        .iter()
+        .map(|&p| Cell {
+            point: p.name().to_string(),
+            scenario: scenario.clone(),
+            protocol: p,
+            seed_base: 50_000,
+        })
+        .collect();
+    let per_proto = run_cells(options, "overhead", &cells);
+    for (p, results) in protos.iter().zip(per_proto) {
         let mut frames = rmm_mac::FrameKindCounts::default();
         let mut completed = 0usize;
         for r in &results {
@@ -106,12 +117,25 @@ pub fn fer(options: &Options) {
         "BMMM violations",
         "LAMM violations",
     ]);
-    for &fer in &[0.0, 0.02, 0.05, 0.1, 0.2] {
-        eprintln!("[fer = {fer}]");
+    let fers = [0.0, 0.02, 0.05, 0.1, 0.2];
+    let protos = [ProtocolKind::Bmmm, ProtocolKind::Lamm, ProtocolKind::Bmw];
+    let mut cells = Vec::new();
+    for &fer in &fers {
         let scenario = base(options).with_fer(fer);
-        let bmmm = run_many_seeded(&scenario, ProtocolKind::Bmmm, 60_000);
-        let lamm = run_many_seeded(&scenario, ProtocolKind::Lamm, 60_000);
-        let bmw = run_many_seeded(&scenario, ProtocolKind::Bmw, 60_000);
+        for &p in &protos {
+            cells.push(Cell {
+                point: format!("fer={fer}/{}", p.name()),
+                scenario: scenario.clone(),
+                protocol: p,
+                seed_base: 60_000,
+            });
+        }
+    }
+    let mut per_cell = run_cells(options, "ext_fer", &cells).into_iter();
+    for &fer in &fers {
+        let bmmm = per_cell.next().expect("BMMM cell");
+        let lamm = per_cell.next().expect("LAMM cell");
+        let bmw = per_cell.next().expect("BMW cell");
         let rate = |rs: &[rmm_workload::RunResult]| {
             Summary::of(
                 &rs.iter()
@@ -142,11 +166,23 @@ pub fn fer(options: &Options) {
 /// LAMM under GPS position noise.
 pub fn noise(options: &Options) {
     let mut table = Table::new(["sigma", "LAMM rate", "LAMM violations", "BMMM rate"]);
-    for &sigma in &[0.0, 0.01, 0.02, 0.05, 0.1] {
-        eprintln!("[noise sigma = {sigma}]");
+    let sigmas = [0.0, 0.01, 0.02, 0.05, 0.1];
+    let mut cells = Vec::new();
+    for &sigma in &sigmas {
         let scenario = base(options).with_position_noise(sigma);
-        let lamm = run_many_seeded(&scenario, ProtocolKind::Lamm, 70_000);
-        let bmmm = run_many_seeded(&scenario, ProtocolKind::Bmmm, 70_000);
+        for &p in &[ProtocolKind::Lamm, ProtocolKind::Bmmm] {
+            cells.push(Cell {
+                point: format!("sigma={sigma}/{}", p.name()),
+                scenario: scenario.clone(),
+                protocol: p,
+                seed_base: 70_000,
+            });
+        }
+    }
+    let mut per_cell = run_cells(options, "ext_noise", &cells).into_iter();
+    for &sigma in &sigmas {
+        let lamm = per_cell.next().expect("LAMM cell");
+        let bmmm = per_cell.next().expect("BMMM cell");
         let rate = |rs: &[rmm_workload::RunResult]| {
             Summary::of(
                 &rs.iter()
@@ -172,6 +208,16 @@ pub fn noise(options: &Options) {
     );
 }
 
+/// One route-discovery attempt's outcome (the fleet-job result for one
+/// `(rate, protocol, seed)` cell of the `route` grid).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+struct RouteProbe {
+    /// A ≥3-hop origin/target pair existed in the sampled topology.
+    trial: bool,
+    /// The RREQ flood reached the target.
+    reached: bool,
+}
+
 /// Route discovery (RREQ flooding) over each MAC protocol — the paper's
 /// motivating AODV/DSR workload — across background load levels.
 pub fn route(options: &Options) {
@@ -183,31 +229,61 @@ pub fn route(options: &Options) {
         rmm_mac::ProtocolKind::Bmmm,
         rmm_mac::ProtocolKind::Lamm,
     ];
-    for &rate in &[5e-4, 1e-3, 2e-3] {
-        eprintln!("[route rate = {rate}]");
+    let rates = [5e-4, 1e-3, 2e-3];
+    let mut cells: Vec<(Scenario, ProtocolKind)> = Vec::new();
+    let mut jobs: Vec<(JobId, usize)> = Vec::new();
+    let mut hash_parts: Vec<String> = Vec::new();
+    for &rate in &rates {
         let scenario = Scenario {
             msg_rate: rate,
             n_nodes: 50,
             n_runs: options.runs,
             ..Scenario::default()
         };
-        let mut row = vec![format!("{rate:.0e}")];
         for &p in &protocols {
-            let mut reached = 0usize;
-            let mut trials = 0usize;
+            let ci = cells.len();
             for seed in 0..options.runs as u64 {
-                let mut sim = RouteSim::new(&scenario, p, seed);
-                let Some((origin, target)) = sim.pick_distant_pair(3) else {
-                    continue;
-                };
-                trials += 1;
-                if sim
-                    .discover(origin, target, DiscoveryConfig::default())
-                    .reached
-                {
-                    reached += 1;
-                }
+                jobs.push((
+                    JobId::new("ext_route", format!("rate={rate}/{}", p.name()), seed),
+                    ci,
+                ));
             }
+            hash_parts.push(format!(
+                "{}|{}",
+                p.name(),
+                serde_json::to_string(&scenario).expect("scenario serializes"),
+            ));
+            cells.push((scenario.clone(), p));
+        }
+    }
+    let probes: Vec<RouteProbe> = run_grid(options, "ext_route", &hash_parts, &jobs, |id, &ci| {
+        let (scenario, p) = &cells[ci];
+        let mut sim = RouteSim::new(scenario, *p, id.seed);
+        let Some((origin, target)) = sim.pick_distant_pair(3) else {
+            return RouteProbe {
+                trial: false,
+                reached: false,
+            };
+        };
+        RouteProbe {
+            trial: true,
+            reached: sim
+                .discover(origin, target, DiscoveryConfig::default())
+                .reached,
+        }
+    });
+    let mut per_cell: Vec<(usize, usize)> = vec![(0, 0); cells.len()];
+    for ((_, ci), probe) in jobs.iter().zip(&probes) {
+        if probe.trial {
+            per_cell[*ci].0 += 1;
+            per_cell[*ci].1 += usize::from(probe.reached);
+        }
+    }
+    let mut stats = per_cell.into_iter();
+    for &rate in &rates {
+        let mut row = vec![format!("{rate:.0e}")];
+        for _ in &protocols {
+            let (trials, reached) = stats.next().expect("cell per protocol");
             row.push(if trials == 0 {
                 "—".to_string()
             } else {
@@ -227,24 +303,53 @@ pub fn route(options: &Options) {
 /// Mobility with stale beacon-learned neighbor tables.
 pub fn mobility(options: &Options) {
     let mut table = Table::new(["max speed", "BSMA", "BMW", "BMMM", "LAMM"]);
-    for &vmax in &[0.0, 1e-5, 5e-5, 2e-4] {
-        eprintln!("[mobility vmax = {vmax}]");
-        let scenario = base(options);
+    let speeds = [0.0, 1e-5, 5e-5, 2e-4];
+    let scenario = base(options);
+    let mut cells: Vec<(MobilityConfig, ProtocolKind)> = Vec::new();
+    let mut jobs: Vec<(JobId, usize)> = Vec::new();
+    let mut hash_parts: Vec<String> = Vec::new();
+    for &vmax in &speeds {
         let config = MobilityConfig {
             speed_min: 0.0,
             speed_max: vmax,
             update_period: 100,
             beacon_period: 500,
         };
+        for &p in &PAPER_PROTOCOLS {
+            let ci = cells.len();
+            for seed in 0..scenario.n_runs as u64 {
+                jobs.push((
+                    JobId::new(
+                        "ext_mobility",
+                        format!("vmax={vmax}/{}", p.name()),
+                        seed + 90_000,
+                    ),
+                    ci,
+                ));
+            }
+            hash_parts.push(format!(
+                "{}|{vmax}|{}",
+                p.name(),
+                serde_json::to_string(&scenario).expect("scenario serializes"),
+            ));
+            cells.push((config, p));
+        }
+    }
+    let rates: Vec<f64> = run_grid(options, "ext_mobility", &hash_parts, &jobs, |id, &ci| {
+        let (config, p) = cells[ci];
+        run_mobile(&scenario, p, config, id.seed)
+            .group_metrics
+            .delivery_rate
+    });
+    let mut grouped: Vec<Vec<f64>> = cells.iter().map(|_| Vec::new()).collect();
+    for ((_, ci), rate) in jobs.iter().zip(rates) {
+        grouped[*ci].push(rate);
+    }
+    let mut per_cell = grouped.into_iter();
+    for &vmax in &speeds {
         let mut row = vec![format!("{vmax:.0e}")];
-        for p in PAPER_PROTOCOLS {
-            let rates: Vec<f64> = (0..scenario.n_runs as u64)
-                .map(|seed| {
-                    run_mobile(&scenario, p, config, seed + 90_000)
-                        .group_metrics
-                        .delivery_rate
-                })
-                .collect();
+        for _ in PAPER_PROTOCOLS {
+            let rates = per_cell.next().expect("cell per protocol");
             row.push(f3(Summary::of(&rates).mean));
         }
         table.row(row);
@@ -273,9 +378,10 @@ pub fn faults(options: &Options) {
         "stalls",
     ]);
     let mut stalls_total = 0usize;
+    let crash_counts = [0usize, 2, 4, 8];
+    let mut cells = Vec::new();
     for p in PAPER_PROTOCOLS {
-        for &crashes in &[0usize, 2, 4, 8] {
-            eprintln!("[faults {} crashes = {crashes}]", p.name());
+        for &crashes in &crash_counts {
             let scenario = base(options)
                 .with_faults(FaultPlan::random_crashes(
                     Scenario::default().n_nodes,
@@ -284,7 +390,18 @@ pub fn faults(options: &Options) {
                     4242,
                 ))
                 .with_stall_window(1_000);
-            let results = run_many_seeded(&scenario, p, 70_000);
+            cells.push(Cell {
+                point: format!("{}/crashes={crashes}", p.name()),
+                scenario,
+                protocol: p,
+                seed_base: 70_000,
+            });
+        }
+    }
+    let mut per_cell = run_cells(options, "ext_faults", &cells).into_iter();
+    for p in PAPER_PROTOCOLS {
+        for &crashes in &crash_counts {
+            let results = per_cell.next().expect("cell per crash count");
             let raw: Vec<f64> = results
                 .iter()
                 .map(|r| r.group_metrics.avg_delivered_frac)

@@ -10,10 +10,11 @@
 //! (a receiver is served iff its DATA, RAK and ACK all survive:
 //! `p = (1 − fer)³`), overlaid on the recursion.
 
-use crate::common::{emit, f2, f3, Options};
+use crate::common::{emit, f2, f3, run_grid, Options};
 use rmm_analysis::{
     bmmm_expected_total_phases, bmw_expected_total_phases, lamm_expected_total_phases,
 };
+use rmm_fleet::JobId;
 use rmm_geom::Point;
 use rmm_mac::{MacNode, MacTiming, Outcome, ProtocolKind, TrafficKind};
 use rmm_sim::{Capture, Engine, NodeId, Topology};
@@ -28,33 +29,30 @@ fn star(n: usize) -> Topology {
     Topology::new(pts, 0.2)
 }
 
-/// Mean measured contention phases for one clean-cell multicast with the
-/// channel's frame-error rate dialed to the target per-round `p`.
-fn simulated_phases(protocol: ProtocolKind, n: usize, p: f64, seeds: u64) -> f64 {
+/// Measured contention phases of one clean-cell multicast with the
+/// channel's frame-error rate dialed to the target per-round `p`. The
+/// fleet-job body for the overlay grid.
+fn simulate_one(protocol: ProtocolKind, n: usize, p: f64, seed: u64) -> f64 {
     // A receiver is served in a round iff DATA, RAK and ACK survive.
     let fer = 1.0 - p.cbrt();
     let timing = MacTiming {
         timeout: 20_000,
         ..Default::default()
     };
-    let mut total = 0.0;
-    for seed in 0..seeds {
-        let topo = star(n);
-        let mut nodes = MacNode::build_network(&topo, protocol, timing, seed);
-        let mut engine = Engine::new(topo, Capture::ZorziRao, seed);
-        engine.set_fer(fer);
-        let receivers: Vec<NodeId> = (1..=n as u32).map(NodeId).collect();
-        nodes[0].enqueue(TrafficKind::Multicast, receivers, 0);
-        engine.run(&mut nodes, 25_000);
-        let rec = &nodes[0].records()[0];
-        assert!(
-            matches!(rec.outcome, Outcome::Completed(_)),
-            "{protocol:?} n={n} seed={seed}: {:?}",
-            rec.outcome
-        );
-        total += f64::from(rec.contention_phases);
-    }
-    total / seeds as f64
+    let topo = star(n);
+    let mut nodes = MacNode::build_network(&topo, protocol, timing, seed);
+    let mut engine = Engine::new(topo, Capture::ZorziRao, seed);
+    engine.set_fer(fer);
+    let receivers: Vec<NodeId> = (1..=n as u32).map(NodeId).collect();
+    nodes[0].enqueue(TrafficKind::Multicast, receivers, 0);
+    engine.run(&mut nodes, 25_000);
+    let rec = &nodes[0].records()[0];
+    assert!(
+        matches!(rec.outcome, Outcome::Completed(_)),
+        "{protocol:?} n={n} seed={seed}: {:?}",
+        rec.outcome
+    );
+    f64::from(rec.contention_phases)
 }
 
 /// Runs the Figure 5 experiment (analysis + LAMM Monte Carlo + the
@@ -79,16 +77,37 @@ pub fn run(options: &Options) {
         &table,
     );
 
-    // The "lines coincide" overlay: f_n vs a controlled simulation.
+    // The "lines coincide" overlay: f_n vs a controlled simulation, one
+    // fleet job per (protocol, n, seed).
     let seeds = (options.runs as u64 * 2).clamp(20, 120);
+    let ns = [1usize, 2, 4, 6, 8, 10];
+    let mut jobs: Vec<(JobId, (ProtocolKind, usize))> = Vec::new();
+    for &n in &ns {
+        for proto in [ProtocolKind::Bmmm, ProtocolKind::Bmw] {
+            for seed in 0..seeds {
+                jobs.push((
+                    JobId::new("fig5", format!("{}/n={n}", proto.name()), seed),
+                    (proto, n),
+                ));
+            }
+        }
+    }
+    let hash_parts = [format!("p={p}|seeds={seeds}")];
+    let phases: Vec<f64> = run_grid(options, "fig5", &hash_parts, &jobs, |id, &(proto, n)| {
+        simulate_one(proto, n, p, id.seed)
+    });
+    let mean = |chunk: &[f64]| chunk.iter().sum::<f64>() / chunk.len() as f64;
+    let mut per_cell = phases.chunks(seeds as usize);
     let mut overlay = Table::new(["n", "f_n (analysis)", "BMMM sim", "BMW analysis", "BMW sim"]);
-    for n in [1usize, 2, 4, 6, 8, 10] {
+    for &n in &ns {
+        let bmmm_sim = mean(per_cell.next().expect("BMMM cell"));
+        let bmw_sim = mean(per_cell.next().expect("BMW cell"));
         overlay.row([
             n.to_string(),
             f2(bmmm_expected_total_phases(n, p)),
-            f2(simulated_phases(ProtocolKind::Bmmm, n, p, seeds)),
+            f2(bmmm_sim),
             f2(bmw_expected_total_phases(n, p)),
-            f2(simulated_phases(ProtocolKind::Bmw, n, p, seeds)),
+            f2(bmw_sim),
         ]);
     }
     emit(

@@ -2,15 +2,21 @@
 //!
 //! ```text
 //! experiments [EXPERIMENT ...] [--runs N] [--slots N] [--out DIR] [--quick]
+//!             [--jobs N] [--resume]
 //!
 //! EXPERIMENT: all | table1 | fig2 | fig5 | fig6 | fig7 | fig8 | fig9 | fig10
 //!             (fig6/fig9/fig10 run both their (a) density and (b) rate axes;
 //!              the density and rate sweeps are shared across those figures
 //!              and executed once)
-//!             ext | overhead | fer | noise | mobility | faults —
+//!             ext | overhead | fer | noise | mobility | route | faults —
 //!             extension experiments beyond the paper's own figures
 //!             (`ext` runs them all; they are not part of `all`)
 //! ```
+//!
+//! `--jobs N` runs each experiment's job grid on N fleet worker threads
+//! (0 = one per core); every artifact is byte-identical at any value.
+//! `--resume` reuses completed jobs from `OUT/<experiment>.manifest.jsonl`
+//! after an interrupted sweep.
 
 mod common;
 mod extensions;
@@ -25,7 +31,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: experiments [all|table1|fig2|fig5|fig6|fig7|fig8|fig9|fig10|\
          ext|overhead|fer|noise|mobility|route|faults ...] \
-         [--runs N] [--slots N] [--out DIR] [--quick]"
+         [--runs N] [--slots N] [--out DIR] [--quick] [--jobs N] [--resume]"
     );
     std::process::exit(2);
 }
@@ -50,6 +56,13 @@ fn main() {
             }
             "--out" => options.out_dir = args.next().map(Into::into).unwrap_or_else(|| usage()),
             "--quick" => options = options.clone().quick(),
+            "--jobs" => {
+                options.jobs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--resume" => options.resume = true,
             "--help" | "-h" => usage(),
             name if !name.starts_with('-') => wanted.push(name.to_string()),
             _ => usage(),

@@ -5,11 +5,12 @@
 //! once and re-reported per figure. Figure 7 sweeps the service timeout
 //! and Figure 8 the reliability threshold.
 
-use crate::common::{emit, emit_chart, f2, f3, Options, PAPER_PROTOCOLS};
+use crate::common::{emit, emit_chart, f2, f3, run_grid, Options, PAPER_PROTOCOLS};
+use rmm_fleet::JobId;
 use rmm_mac::ProtocolKind;
 use rmm_plot::{Chart, Series};
 use rmm_stats::{MessageMetric, RunMetrics, Summary, Table};
-use rmm_workload::{run_many_seeded, Scenario};
+use rmm_workload::{run_one, RunResult, Scenario};
 
 /// One protocol's aggregate at one sweep point.
 #[derive(Debug, Clone)]
@@ -22,9 +23,8 @@ struct Point {
     completion: Summary,
 }
 
-/// Runs `scenario` for one protocol and summarizes the per-run metrics.
-fn measure(scenario: &Scenario, protocol: ProtocolKind, x: f64, seed_base: u64) -> Point {
-    let results = run_many_seeded(scenario, protocol, seed_base);
+/// Summarizes one cell's seed-ordered runs.
+fn summarize(results: &[RunResult], x: f64) -> Point {
     let delivery: Vec<f64> = results
         .iter()
         .map(|r| r.group_metrics.delivery_rate)
@@ -47,6 +47,49 @@ fn measure(scenario: &Scenario, protocol: ProtocolKind, x: f64, seed_base: u64) 
     }
 }
 
+/// One sweep cell: a `(scenario, protocol)` pair every seed of which
+/// becomes one fleet job.
+pub struct Cell {
+    /// Human-readable point key, e.g. `nodes=40/BMW` (the JobId `point`).
+    pub point: String,
+    /// The scenario to run.
+    pub scenario: Scenario,
+    /// The protocol under test.
+    pub protocol: ProtocolKind,
+    /// First seed; the cell runs `scenario.n_runs` seeds from here (the
+    /// exact seeds the serial runner would use).
+    pub seed_base: u64,
+}
+
+/// Expands `cells` into one job per `(cell, seed)`, runs the grid on the
+/// fleet under `experiment`'s manifest, and returns each cell's runs
+/// (seed-ordered), cell by cell in input order.
+pub fn run_cells(options: &Options, experiment: &str, cells: &[Cell]) -> Vec<Vec<RunResult>> {
+    let mut jobs: Vec<(JobId, usize)> = Vec::new();
+    let mut hash_parts: Vec<String> = Vec::new();
+    for (ci, cell) in cells.iter().enumerate() {
+        for s in 0..cell.scenario.n_runs as u64 {
+            jobs.push((JobId::new(experiment, &cell.point, cell.seed_base + s), ci));
+        }
+        hash_parts.push(format!(
+            "{}|{}|{}",
+            cell.protocol.name(),
+            cell.seed_base,
+            serde_json::to_string(&cell.scenario).expect("scenario serializes"),
+        ));
+    }
+    let results = run_grid(options, experiment, &hash_parts, &jobs, |id, &ci| {
+        run_one(&cells[ci].scenario, cells[ci].protocol, id.seed)
+    });
+    // Jobs were laid out cell-contiguous and seed-ascending, so slicing
+    // the merged results back per cell preserves the serial layout.
+    let mut grouped: Vec<Vec<RunResult>> = cells.iter().map(|_| Vec::new()).collect();
+    for ((_, ci), result) in jobs.iter().zip(results) {
+        grouped[*ci].push(result);
+    }
+    grouped
+}
+
 fn base_scenario(options: &Options) -> Scenario {
     Scenario {
         n_runs: options.runs,
@@ -56,10 +99,13 @@ fn base_scenario(options: &Options) -> Scenario {
 }
 
 /// Runs one sweep (axis values + scenario builder) for all protocols and
-/// emits the three metric tables under the given figure names.
+/// emits the three metric tables under the given figure names. The whole
+/// `axis × protocol × seed` grid goes to the fleet as one manifest-backed
+/// sweep named `experiment`.
 #[allow(clippy::too_many_arguments)]
 fn sweep_and_emit(
     options: &Options,
+    experiment: &str,
     axis_name: &str,
     axis: &[f64],
     build: impl Fn(&Scenario, f64) -> Scenario,
@@ -69,13 +115,27 @@ fn sweep_and_emit(
     x_display: impl Fn(f64, &Point) -> String,
 ) {
     let base = base_scenario(options);
-    let mut points: Vec<(f64, Vec<Point>)> = Vec::new();
+    let mut cells: Vec<Cell> = Vec::new();
     for (i, &x) in axis.iter().enumerate() {
         let scenario = build(&base, x);
-        eprintln!("[sweep {axis_name} = {x}]");
+        for &p in &PAPER_PROTOCOLS {
+            cells.push(Cell {
+                point: format!("{axis_name}={x}/{}", p.name()),
+                scenario: scenario.clone(),
+                protocol: p,
+                // The seed bases the serial sweep has always used: one
+                // block of 10 000 per axis point, shared by protocols.
+                seed_base: (i as u64) * 10_000,
+            });
+        }
+    }
+    let per_cell = run_cells(options, experiment, &cells);
+    let mut points: Vec<(f64, Vec<Point>)> = Vec::new();
+    let mut runs = per_cell.into_iter();
+    for &x in axis {
         let per_proto: Vec<Point> = PAPER_PROTOCOLS
             .iter()
-            .map(|&p| measure(&scenario, p, x, (i as u64) * 10_000))
+            .map(|_| summarize(&runs.next().expect("cell per protocol"), x))
             .collect();
         points.push((x, per_proto));
     }
@@ -121,6 +181,7 @@ pub fn density_sweep(options: &Options) {
     let counts = [40.0, 60.0, 80.0, 100.0, 120.0, 140.0];
     sweep_and_emit(
         options,
+        "density",
         "nodes",
         &counts,
         |base, x| base.clone().with_nodes(x as usize),
@@ -149,6 +210,7 @@ pub fn rate_sweep(options: &Options) {
     sweep_and_emit(
         options,
         "rate",
+        "rate",
         &rates,
         |base, x| base.clone().with_rate(x),
         Some((
@@ -172,6 +234,7 @@ pub fn fig7(options: &Options) {
     let timeouts = [100.0, 150.0, 200.0, 250.0, 300.0];
     sweep_and_emit(
         options,
+        "fig7",
         "timeout",
         &timeouts,
         |base, x| base.clone().with_timeout(x as u64),
@@ -200,17 +263,24 @@ pub fn fig8(options: &Options) {
     let mut table = Table::new(header);
 
     // One simulation per protocol; re-score per threshold.
-    let mut per_proto_msgs: Vec<Vec<Vec<MessageMetric>>> = Vec::new();
-    for &p in &PAPER_PROTOCOLS {
-        eprintln!("[fig8 {}]", p.name());
-        let results = run_many_seeded(&base, p, 80_000);
-        per_proto_msgs.push(
+    let cells: Vec<Cell> = PAPER_PROTOCOLS
+        .iter()
+        .map(|&p| Cell {
+            point: p.name().to_string(),
+            scenario: base.clone(),
+            protocol: p,
+            seed_base: 80_000,
+        })
+        .collect();
+    let per_proto_msgs: Vec<Vec<Vec<MessageMetric>>> = run_cells(options, "fig8", &cells)
+        .into_iter()
+        .map(|results| {
             results
                 .into_iter()
                 .map(|r| r.messages.into_iter().filter(|m| m.is_group).collect())
-                .collect(),
-        );
-    }
+                .collect()
+        })
+        .collect();
     for &t in &thresholds {
         let mut row = vec![f2(t)];
         for msgs in &per_proto_msgs {

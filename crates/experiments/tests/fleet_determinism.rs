@@ -1,0 +1,138 @@
+//! End-to-end fleet guarantees, driven through the `experiments` binary:
+//! artifacts are byte-identical at any `--jobs` value, and a killed
+//! sweep resumed with `--resume` completes without re-executing finished
+//! jobs — to the same bytes.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+const BIN: &str = env!("CARGO_BIN_EXE_experiments");
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rmm_experiments_fleet_{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Runs `experiments fig7` (a small real sweep: 5 timeouts × 4
+/// protocols) into `out` and returns captured stderr.
+fn run_fig7(out: &Path, extra: &[&str]) -> String {
+    let output = Command::new(BIN)
+        .args([
+            "fig7",
+            "--runs",
+            "2",
+            "--slots",
+            "1500",
+            "--out",
+            out.to_str().unwrap(),
+        ])
+        .args(extra)
+        .output()
+        .expect("experiments binary runs");
+    assert!(
+        output.status.success(),
+        "experiments failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    String::from_utf8_lossy(&output.stderr).into_owned()
+}
+
+fn artifact_bytes(dir: &Path, name: &str) -> Vec<u8> {
+    std::fs::read(dir.join(name)).unwrap_or_else(|e| panic!("missing {name}: {e}"))
+}
+
+#[test]
+fn artifacts_are_byte_identical_at_any_jobs_value() {
+    let serial = tempdir("jobs1");
+    run_fig7(&serial, &["--jobs", "1"]);
+    for jobs in ["2", "8"] {
+        let parallel = tempdir(&format!("jobs{jobs}"));
+        run_fig7(&parallel, &["--jobs", jobs]);
+        for artifact in ["fig7.csv", "fig7.svg"] {
+            assert_eq!(
+                artifact_bytes(&serial, artifact),
+                artifact_bytes(&parallel, artifact),
+                "{artifact} differs between --jobs 1 and --jobs {jobs}"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&parallel);
+    }
+    let _ = std::fs::remove_dir_all(&serial);
+}
+
+#[test]
+fn killed_sweep_resumes_without_rerunning_finished_jobs() {
+    let dir = tempdir("resume");
+    run_fig7(&dir, &["--jobs", "2"]);
+    let full_csv = artifact_bytes(&dir, "fig7.csv");
+    let full_svg = artifact_bytes(&dir, "fig7.svg");
+
+    // Simulate a kill partway through: keep the header plus the first 25
+    // of the 40 completed-job lines.
+    let manifest = dir.join("fig7.manifest.jsonl");
+    let text = std::fs::read_to_string(&manifest).unwrap();
+    let total_entries = text.lines().count() - 1;
+    assert_eq!(total_entries, 40, "5 timeouts × 4 protocols × 2 runs");
+    let keep: Vec<&str> = text.lines().take(1 + 25).collect();
+    std::fs::write(&manifest, keep.join("\n") + "\n").unwrap();
+    std::fs::remove_file(dir.join("fig7.csv")).unwrap();
+    std::fs::remove_file(dir.join("fig7.svg")).unwrap();
+
+    let stderr = run_fig7(&dir, &["--jobs", "2", "--resume"]);
+    assert!(
+        stderr.contains("reused 25 completed jobs from the manifest, ran 15"),
+        "resume must reuse the 25 surviving jobs, got:\n{stderr}"
+    );
+    assert_eq!(
+        full_csv,
+        artifact_bytes(&dir, "fig7.csv"),
+        "resumed CSV differs from the uninterrupted run"
+    );
+    assert_eq!(
+        full_svg,
+        artifact_bytes(&dir, "fig7.svg"),
+        "resumed SVG differs from the uninterrupted run"
+    );
+
+    // The resumed manifest is complete again: a second resume reuses
+    // everything and still emits identical artifacts.
+    let stderr = run_fig7(&dir, &["--jobs", "8", "--resume"]);
+    assert!(
+        stderr.contains("reused 40 completed jobs from the manifest, ran 0"),
+        "full manifest must satisfy the whole sweep, got:\n{stderr}"
+    );
+    assert_eq!(full_csv, artifact_bytes(&dir, "fig7.csv"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stale_manifest_is_rejected_not_merged() {
+    let dir = tempdir("stale");
+    run_fig7(&dir, &["--jobs", "2"]);
+    // Different options (slots) → different options hash → stale.
+    let output = Command::new(BIN)
+        .args([
+            "fig7",
+            "--runs",
+            "2",
+            "--slots",
+            "1600",
+            "--resume",
+            "--out",
+            dir.to_str().unwrap(),
+        ])
+        .output()
+        .expect("experiments binary runs");
+    assert!(
+        !output.status.success(),
+        "resuming under changed options must fail"
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("stale manifest"),
+        "expected a stale-manifest diagnostic, got:\n{stderr}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

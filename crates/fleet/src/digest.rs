@@ -1,0 +1,93 @@
+//! FNV-1a 64-bit hashing for result digests and options hashes.
+//!
+//! The std `DefaultHasher` is explicitly not stable across releases, and
+//! a manifest written by one build must be readable by the next — so the
+//! fleet pins the classic FNV-1a, which is trivially stable.
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a 64 of a byte string.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write(bytes);
+    h.finish()
+}
+
+/// Incremental FNV-1a 64 hasher.
+#[derive(Debug, Clone)]
+pub struct Fnv1a {
+    state: u64,
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a::new()
+    }
+}
+
+impl Fnv1a {
+    /// Starts a hash at the FNV offset basis.
+    pub fn new() -> Fnv1a {
+        Fnv1a { state: FNV_OFFSET }
+    }
+
+    /// Feeds raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Feeds a string, terminated so `("ab","c")` ≠ `("a","bc")`.
+    pub fn write_str(&mut self, s: &str) {
+        self.write(s.as_bytes());
+        self.write(&[0xff]);
+    }
+
+    /// Feeds a `u64` in little-endian bytes.
+    pub fn write_u64(&mut self, n: u64) {
+        self.write(&n.to_le_bytes());
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// Formats a hash the way manifests store it (`0x` + 16 hex digits).
+pub fn hex(h: u64) -> String {
+    format!("{h:#018x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn string_feeding_is_boundary_sensitive() {
+        let mut a = Fnv1a::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = Fnv1a::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn hex_is_fixed_width() {
+        assert_eq!(hex(0x1), "0x0000000000000001");
+        assert_eq!(hex(u64::MAX), "0xffffffffffffffff");
+    }
+}

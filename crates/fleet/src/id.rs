@@ -1,0 +1,63 @@
+//! Stable job identity: the key every sweep cell hangs off.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies one sweep cell: `(experiment, point, seed)`.
+///
+/// The id is the *only* input a job may derive randomness from — the
+/// `seed` must be the same seed the serial runner would use for the
+/// cell, which is what makes parallel and serial execution bit-identical.
+/// The derived `Ord` is the canonical merge order: experiment, then
+/// point, then seed.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct JobId {
+    /// The sweep this cell belongs to (e.g. `density`, `ext_fer`).
+    pub experiment: String,
+    /// The grid point within the sweep (e.g. `nodes=40/BMW`).
+    pub point: String,
+    /// The per-cell seed, exactly as the serial path derives it.
+    pub seed: u64,
+}
+
+impl JobId {
+    /// Creates an id from its three components.
+    pub fn new(experiment: impl Into<String>, point: impl Into<String>, seed: u64) -> JobId {
+        JobId {
+            experiment: experiment.into(),
+            point: point.into(),
+            seed,
+        }
+    }
+}
+
+impl std::fmt::Display for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}#{}", self.experiment, self.point, self.seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_order_is_experiment_point_seed() {
+        let mut ids = [
+            JobId::new("b", "p", 0),
+            JobId::new("a", "q", 0),
+            JobId::new("a", "p", 2),
+            JobId::new("a", "p", 1),
+        ];
+        ids.sort();
+        let shown: Vec<String> = ids.iter().map(|i| i.to_string()).collect();
+        assert_eq!(shown, ["a/p#1", "a/p#2", "a/q#0", "b/p#0"]);
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let id = JobId::new("density", "nodes=40/BMW", 40_003);
+        let json = serde_json::to_string(&id).unwrap();
+        let back: JobId = serde_json::from_str(&json).unwrap();
+        assert_eq!(id, back);
+    }
+}

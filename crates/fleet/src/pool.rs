@@ -1,0 +1,153 @@
+//! The work-stealing-lite thread pool: N workers over a shared injector
+//! queue, results into a slot-addressed buffer.
+//!
+//! The "queue" is an atomic cursor over the job slice — every worker
+//! claims the next unclaimed index, so there is nothing to steal and no
+//! per-worker deque to balance, yet the pool load-balances exactly like
+//! a single shared injector. Each result lands in its job's own slot,
+//! which is what keeps the output order independent of scheduling.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Resolves a `--jobs` value: `0` means one worker per available core,
+/// and the count never exceeds the number of jobs (spawning idle threads
+/// is pointless).
+pub fn resolve_workers(requested: usize, jobs: usize) -> usize {
+    let workers = if requested == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        requested
+    };
+    workers.clamp(1, jobs.max(1))
+}
+
+/// Runs every job on `workers` threads and returns the results **in job
+/// order**, regardless of which worker finished what when.
+///
+/// `run` receives `(worker index, &job)`. Panics in a job propagate once
+/// all workers have stopped.
+pub fn run_parallel<J, R, F>(workers: usize, jobs: &[J], run: F) -> Vec<R>
+where
+    J: Sync,
+    R: Send,
+    F: Fn(usize, &J) -> R + Sync,
+{
+    run_observed(workers, jobs, run, |_, _| {}, |_, _, _: &R| {})
+}
+
+/// [`run_parallel`] with start/finish hooks, for progress reporting and
+/// manifest appends. `on_start(worker, index)` fires when a worker claims
+/// a job; `on_finish(worker, index, &result)` fires after the job ran but
+/// before its result is parked in the buffer, so a crash between the two
+/// at worst re-runs one already-recorded job on resume.
+pub fn run_observed<J, R, F, S, C>(
+    workers: usize,
+    jobs: &[J],
+    run: F,
+    on_start: S,
+    on_finish: C,
+) -> Vec<R>
+where
+    J: Sync,
+    R: Send,
+    F: Fn(usize, &J) -> R + Sync,
+    S: Fn(usize, usize) + Sync,
+    C: Fn(usize, usize, &R) + Sync,
+{
+    let n = jobs.len();
+    let workers = resolve_workers(workers, n);
+    let cursor = AtomicUsize::new(0);
+    // One mutex per slot: a worker only ever locks the slot it owns, so
+    // there is no contention and no unsafe indexing.
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let (cursor, slots, run, on_start, on_finish) =
+                (&cursor, &slots, &run, &on_start, &on_finish);
+            scope.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                on_start(w, i);
+                let r = run(w, &jobs[i]);
+                on_finish(w, i, &r);
+                *slots[i].lock().expect("result slot poisoned") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("every job ran")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn results_are_in_job_order_at_any_worker_count() {
+        let jobs: Vec<usize> = (0..97).collect();
+        let expect: Vec<usize> = jobs.iter().map(|&x| x * x).collect();
+        for workers in [1, 2, 3, 8, 64] {
+            let got = run_parallel(workers, &jobs, |_, &x| x * x);
+            assert_eq!(got, expect, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let seen = Mutex::new(Vec::new());
+        let jobs: Vec<usize> = (0..50).collect();
+        run_parallel(7, &jobs, |_, &x| {
+            seen.lock().unwrap().push(x);
+        });
+        let seen = seen.into_inner().unwrap();
+        assert_eq!(seen.len(), 50);
+        assert_eq!(seen.iter().collect::<HashSet<_>>().len(), 50);
+    }
+
+    #[test]
+    fn hooks_fire_per_job() {
+        let starts = AtomicUsize::new(0);
+        let finishes = AtomicUsize::new(0);
+        let jobs: Vec<u32> = (0..23).collect();
+        let out = run_observed(
+            4,
+            &jobs,
+            |_, &x| x + 1,
+            |_, _| {
+                starts.fetch_add(1, Ordering::Relaxed);
+            },
+            |_, i, r: &u32| {
+                assert_eq!(*r, jobs[i] + 1);
+                finishes.fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        assert_eq!(out.len(), 23);
+        assert_eq!(starts.load(Ordering::Relaxed), 23);
+        assert_eq!(finishes.load(Ordering::Relaxed), 23);
+    }
+
+    #[test]
+    fn zero_requested_workers_resolves_to_cores() {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        assert_eq!(resolve_workers(0, 1000), cores.min(1000));
+        assert_eq!(resolve_workers(0, 0), 1);
+        assert_eq!(resolve_workers(8, 3), 3, "never more workers than jobs");
+        assert_eq!(resolve_workers(2, 1000), 2);
+    }
+
+    #[test]
+    fn empty_job_list_is_fine() {
+        let out: Vec<u8> = run_parallel(4, &Vec::<u8>::new(), |_, &x| x);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,134 @@
+//! Live sweep progress on stderr: jobs done/total, ETA, and what each
+//! worker is currently chewing on.
+//!
+//! Reporting is throttled (at most one line every ~500 ms, plus a final
+//! line) so CI logs stay readable; all output goes to stderr, leaving
+//! stdout artifacts untouched.
+
+use crate::id::JobId;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+const THROTTLE: Duration = Duration::from_millis(500);
+
+/// Progress state shared between workers (thread-safe).
+pub struct Progress {
+    label: String,
+    total: usize,
+    done: AtomicUsize,
+    start: Instant,
+    current: Mutex<Vec<Option<String>>>,
+    last_print: Mutex<Instant>,
+    quiet: bool,
+}
+
+impl Progress {
+    /// Creates a reporter for `total` jobs, `already_done` of which were
+    /// reused from a manifest. `quiet` suppresses all output.
+    pub fn new(
+        label: &str,
+        total: usize,
+        already_done: usize,
+        workers: usize,
+        quiet: bool,
+    ) -> Self {
+        let start = Instant::now();
+        Progress {
+            label: label.to_string(),
+            total,
+            done: AtomicUsize::new(already_done),
+            start,
+            current: Mutex::new(vec![None; workers]),
+            // Backdate so the very first completion prints immediately.
+            last_print: Mutex::new(start.checked_sub(THROTTLE).unwrap_or(start)),
+            quiet,
+        }
+    }
+
+    /// Records that `worker` picked up `id`.
+    pub fn started(&self, worker: usize, id: &JobId) {
+        if self.quiet {
+            return;
+        }
+        let mut current = self.current.lock().expect("progress state poisoned");
+        if let Some(slot) = current.get_mut(worker) {
+            *slot = Some(format!("{}#{}", id.point, id.seed));
+        }
+    }
+
+    /// Records one finished job and maybe prints a status line.
+    pub fn finished(&self, worker: usize, _id: &JobId) {
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.quiet {
+            return;
+        }
+        {
+            let mut current = self.current.lock().expect("progress state poisoned");
+            if let Some(slot) = current.get_mut(worker) {
+                *slot = None;
+            }
+        }
+        let final_job = done >= self.total;
+        {
+            let mut last = self.last_print.lock().expect("progress clock poisoned");
+            if !final_job && last.elapsed() < THROTTLE {
+                return;
+            }
+            *last = Instant::now();
+        }
+        eprintln!("{}", self.render(done));
+    }
+
+    /// One status line: `[fleet density] 120/240 (50.0%) 3.2s eta 3.2s | w1 nodes=80/BMW#40003`.
+    fn render(&self, done: usize) -> String {
+        let elapsed = self.start.elapsed().as_secs_f64();
+        let eta = if done == 0 {
+            "?".to_string()
+        } else {
+            let remaining = elapsed / done as f64 * (self.total - done) as f64;
+            format!("{remaining:.1}s")
+        };
+        let mut line = format!(
+            "[fleet {}] {done}/{} ({:.1}%) {elapsed:.1}s eta {eta}",
+            self.label,
+            self.total,
+            100.0 * done as f64 / self.total.max(1) as f64,
+        );
+        let current = self.current.lock().expect("progress state poisoned");
+        let busy: Vec<String> = current
+            .iter()
+            .enumerate()
+            .filter_map(|(w, c)| c.as_ref().map(|cell| format!("w{w} {cell}")))
+            .collect();
+        if !busy.is_empty() {
+            line.push_str(" | ");
+            line.push_str(&busy.join("  "));
+        }
+        line
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_reports_counts_and_workers() {
+        let p = Progress::new("density", 10, 0, 2, false);
+        p.started(1, &JobId::new("density", "nodes=40/BMW", 7));
+        let line = p.render(5);
+        assert!(line.contains("[fleet density] 5/10 (50.0%)"), "{line}");
+        assert!(line.contains("w1 nodes=40/BMW#7"), "{line}");
+    }
+
+    #[test]
+    fn finished_clears_the_worker_slot() {
+        let p = Progress::new("x", 3, 0, 1, true);
+        let id = JobId::new("x", "p", 0);
+        p.started(0, &id);
+        p.finished(0, &id);
+        assert!(!p.render(1).contains("w0"));
+        assert_eq!(p.done.load(Ordering::Relaxed), 1);
+    }
+}

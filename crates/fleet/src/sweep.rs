@@ -1,0 +1,306 @@
+//! The sweep runner: pool + manifest + progress, merged in canonical
+//! job order.
+
+use crate::digest::hex;
+use crate::id::JobId;
+use crate::manifest::{Manifest, ManifestError, ManifestHeader, MANIFEST_VERSION};
+use crate::pool::{resolve_workers, run_observed};
+use crate::progress::Progress;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+/// How to run one sweep.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Sweep (experiment) name — becomes the manifest's `sweep` field
+    /// and the progress label.
+    pub name: String,
+    /// Worker threads (`0` = one per available core).
+    pub workers: usize,
+    /// Reuse completed jobs from an existing manifest.
+    pub resume: bool,
+    /// Where the manifest lives (`None` disables resumability).
+    pub manifest_path: Option<PathBuf>,
+    /// Stable hash over the sweep options and the full job grid; a
+    /// manifest written under a different hash is stale.
+    pub options_hash: u64,
+    /// Suppress progress output.
+    pub quiet: bool,
+}
+
+impl SweepConfig {
+    /// A manifest-less, quiet config (for library callers and tests).
+    pub fn ephemeral(name: &str, workers: usize) -> SweepConfig {
+        SweepConfig {
+            name: name.to_string(),
+            workers,
+            resume: false,
+            manifest_path: None,
+            options_hash: 0,
+            quiet: true,
+        }
+    }
+}
+
+/// What a sweep did.
+#[derive(Debug)]
+pub struct SweepOutcome<R> {
+    /// Per-job results, in the input (canonical) job order.
+    pub results: Vec<R>,
+    /// Jobs reused from the manifest instead of re-executed.
+    pub reused: usize,
+    /// Jobs actually executed this run.
+    pub executed: usize,
+    /// Worker threads used.
+    pub workers: usize,
+}
+
+/// A sweep failure.
+#[derive(Debug)]
+pub enum FleetError {
+    /// The manifest could not be used (stale, corrupt, or unreadable).
+    Manifest(ManifestError),
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetError::Manifest(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+/// Executes `jobs` on the fleet and returns their results in input
+/// order.
+///
+/// Each job is `(id, payload)`; `run` must derive all randomness from
+/// the id (its `seed` in particular), never from scheduling. With a
+/// manifest configured, completed jobs are appended as they finish;
+/// with `resume`, jobs already in a matching manifest are loaded back
+/// instead of re-executed. A manifest written under different options
+/// (hash mismatch) yields `FleetError::Manifest(ManifestError::Stale)`.
+pub fn run_sweep<J, R>(
+    config: &SweepConfig,
+    jobs: &[(JobId, J)],
+    run: impl Fn(&JobId, &J) -> R + Sync,
+) -> Result<SweepOutcome<R>, FleetError>
+where
+    J: Sync,
+    R: Serialize + Deserialize + Send,
+{
+    let header = ManifestHeader {
+        sweep: config.name.clone(),
+        options_hash: hex(config.options_hash),
+        jobs: jobs.len(),
+        version: MANIFEST_VERSION,
+    };
+
+    // Phase 1: load completed results out of the manifest (resume only).
+    let mut done: HashMap<&JobId, R> = HashMap::new();
+    let mut preserved: Vec<(JobId, String)> = Vec::new();
+    if config.resume {
+        if let Some(path) = &config.manifest_path {
+            let entries = match Manifest::load(path, &header) {
+                Ok(entries) => entries,
+                Err(ManifestError::Missing) => Vec::new(),
+                Err(e) => return Err(FleetError::Manifest(e)),
+            };
+            let by_id: HashMap<JobId, String> = entries.into_iter().collect();
+            for (id, _) in jobs {
+                let Some(json) = by_id.get(id) else { continue };
+                // A line that stopped parsing as R (schema drift the
+                // options hash missed) is simply re-run.
+                let Ok(result) = serde_json::from_str::<R>(json) else {
+                    continue;
+                };
+                done.insert(id, result);
+                preserved.push((id.clone(), json.clone()));
+            }
+        }
+    }
+
+    // Phase 2: rewrite the manifest fresh (header + reused lines) and
+    // keep it open for appends.
+    let manifest = match &config.manifest_path {
+        Some(path) => {
+            Some(Manifest::create(path, &header, &preserved).map_err(FleetError::Manifest)?)
+        }
+        None => None,
+    };
+
+    // Phase 3: run what's missing.
+    let pending: Vec<(usize, &JobId, &J)> = jobs
+        .iter()
+        .enumerate()
+        .filter(|(_, (id, _))| !done.contains_key(id))
+        .map(|(i, (id, job))| (i, id, job))
+        .collect();
+    let reused = jobs.len() - pending.len();
+    let workers = resolve_workers(config.workers, pending.len());
+    let progress = Progress::new(&config.name, jobs.len(), reused, workers, config.quiet);
+    let executed_results: Vec<R> = run_observed(
+        workers,
+        &pending,
+        |_w, &(_, id, job): &(usize, &JobId, &J)| run(id, job),
+        |w, i| progress.started(w, pending[i].1),
+        |w, i, r: &R| {
+            if let Some(m) = &manifest {
+                let json = serde_json::to_string(r).expect("job result serializes");
+                m.append(pending[i].1, &json);
+            }
+            progress.finished(w, pending[i].1);
+        },
+    );
+    let executed = executed_results.len();
+
+    // Phase 4: deterministic merge — slot every result back into the
+    // canonical input order, whichever way it was obtained.
+    let mut slots: Vec<Option<R>> = Vec::new();
+    slots.resize_with(jobs.len(), || None);
+    for ((id, _), slot) in jobs.iter().zip(&mut slots) {
+        if let Some(r) = done.remove(id) {
+            *slot = Some(r);
+        }
+    }
+    let mut fresh = executed_results.into_iter();
+    for ((i, _, _), r) in pending.iter().zip(&mut fresh) {
+        slots[*i] = Some(r);
+    }
+    let results = slots
+        .into_iter()
+        .map(|s| s.expect("every job resolved"))
+        .collect();
+    Ok(SweepOutcome {
+        results,
+        reused,
+        executed,
+        workers,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn grid(n: u64) -> Vec<(JobId, u64)> {
+        (0..n).map(|s| (JobId::new("sq", "p", s), s)).collect()
+    }
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("rmm_fleet_sweep_{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn results_are_identical_at_any_worker_count() {
+        let jobs = grid(31);
+        let expect: Vec<u64> = (0..31).map(|s| s * s).collect();
+        for workers in [1, 2, 8] {
+            let config = SweepConfig::ephemeral("sq", workers);
+            let out = run_sweep(&config, &jobs, |id, _| id.seed * id.seed).unwrap();
+            assert_eq!(out.results, expect, "workers = {workers}");
+            assert_eq!(out.executed, 31);
+            assert_eq!(out.reused, 0);
+        }
+    }
+
+    #[test]
+    fn resume_skips_completed_jobs() {
+        let dir = tempdir("resume");
+        let path = dir.join("sq.manifest.jsonl");
+        let jobs = grid(12);
+        let mut config = SweepConfig::ephemeral("sq", 2);
+        config.manifest_path = Some(path.clone());
+        config.options_hash = 0x5eed;
+
+        // Full run, writing the manifest.
+        let ran = AtomicUsize::new(0);
+        let full = run_sweep(&config, &jobs, |id, _| {
+            ran.fetch_add(1, Ordering::Relaxed);
+            id.seed * 10
+        })
+        .unwrap();
+        assert_eq!(ran.load(Ordering::Relaxed), 12);
+
+        // Simulate a kill: drop the last 4 manifest lines.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let keep: Vec<&str> = text.lines().take(1 + 8).collect();
+        std::fs::write(&path, keep.join("\n") + "\n").unwrap();
+
+        // Resume: only the missing 4 run again, results identical.
+        config.resume = true;
+        let ran = AtomicUsize::new(0);
+        let resumed = run_sweep(&config, &jobs, |id, _| {
+            ran.fetch_add(1, Ordering::Relaxed);
+            id.seed * 10
+        })
+        .unwrap();
+        assert_eq!(
+            ran.load(Ordering::Relaxed),
+            4,
+            "finished jobs must not re-run"
+        );
+        assert_eq!(resumed.reused, 8);
+        assert_eq!(resumed.executed, 4);
+        assert_eq!(resumed.results, full.results);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_manifest_is_rejected_on_resume() {
+        let dir = tempdir("stale");
+        let path = dir.join("sq.manifest.jsonl");
+        let jobs = grid(4);
+        let mut config = SweepConfig::ephemeral("sq", 1);
+        config.manifest_path = Some(path.clone());
+        config.options_hash = 1;
+        run_sweep(&config, &jobs, |id, _| id.seed).unwrap();
+
+        // Same sweep, different options hash: stale.
+        config.options_hash = 2;
+        config.resume = true;
+        match run_sweep(&config, &jobs, |id, _| id.seed) {
+            Err(FleetError::Manifest(ManifestError::Stale { .. })) => {}
+            other => panic!("expected stale rejection, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_without_manifest_starts_fresh() {
+        let dir = tempdir("fresh");
+        let mut config = SweepConfig::ephemeral("sq", 2);
+        config.manifest_path = Some(dir.join("sq.manifest.jsonl"));
+        config.resume = true;
+        let jobs = grid(5);
+        let out = run_sweep(&config, &jobs, |id, _| id.seed).unwrap();
+        assert_eq!(out.reused, 0);
+        assert_eq!(out.executed, 5);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn float_results_survive_the_manifest_bit_exactly() {
+        let dir = tempdir("floats");
+        let path = dir.join("f.manifest.jsonl");
+        let jobs: Vec<(JobId, ())> = (0..6).map(|s| (JobId::new("f", "p", s), ())).collect();
+        let run = |id: &JobId, _: &()| 1.0 / (id.seed as f64 + 0.1) + 1e-17;
+        let mut config = SweepConfig::ephemeral("f", 1);
+        config.manifest_path = Some(path.clone());
+        let full = run_sweep(&config, &jobs, run).unwrap();
+        config.resume = true;
+        let resumed: SweepOutcome<f64> =
+            run_sweep(&config, &jobs, |_, _| unreachable!("all jobs reused")).unwrap();
+        assert_eq!(resumed.reused, 6);
+        for (a, b) in full.results.iter().zip(&resumed.results) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

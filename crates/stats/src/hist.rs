@@ -63,6 +63,38 @@ impl Histogram {
         self.lo + (self.hi - self.lo) * i as f64 / self.bins.len() as f64
     }
 
+    /// Whether `other` has the same shape (same `[lo, hi)` and bin
+    /// count), i.e. can be merged bin-for-bin.
+    pub fn same_shape(&self, other: &Histogram) -> bool {
+        self.lo == other.lo && self.hi == other.hi && self.bins.len() == other.bins.len()
+    }
+
+    /// Adds `other`'s counts into `self`. Counts are integers, so the
+    /// merge is exact and order-independent (any merge tree yields the
+    /// same bins).
+    ///
+    /// # Panics
+    /// If the histograms have different shapes.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.same_shape(other),
+            "cannot merge histograms of different shapes: \
+             [{}, {})×{} vs [{}, {})×{}",
+            self.lo,
+            self.hi,
+            self.bins.len(),
+            other.lo,
+            other.hi,
+            other.bins.len()
+        );
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        self.count += other.count;
+    }
+
     /// A one-line ASCII sparkline of the distribution.
     pub fn sparkline(&self) -> String {
         const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
@@ -138,6 +170,47 @@ mod tests {
             h.record(x);
         }
         assert_eq!(h.sparkline().chars().count(), 4);
+    }
+
+    #[test]
+    fn merge_adds_counts_exactly() {
+        let mut a = Histogram::new(0.0, 10.0, 5);
+        let mut b = Histogram::new(0.0, 10.0, 5);
+        a.record(1.0);
+        a.record(-5.0);
+        b.record(1.5);
+        b.record(99.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.bins()[0], 2);
+        assert_eq!(a.out_of_range(), (1, 1));
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let mk = |xs: &[f64]| {
+            let mut h = Histogram::new(0.0, 8.0, 8);
+            for &x in xs {
+                h.record(x);
+            }
+            h
+        };
+        let (a, b, c) = (mk(&[1.0, 2.0]), mk(&[3.0]), mk(&[7.5, 0.5]));
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut right = c.clone();
+        right.merge(&a);
+        right.merge(&b);
+        assert_eq!(left.bins(), right.bins());
+        assert_eq!(left.count(), right.count());
+    }
+
+    #[test]
+    #[should_panic(expected = "different shapes")]
+    fn merge_rejects_shape_mismatch() {
+        let mut a = Histogram::new(0.0, 10.0, 5);
+        a.merge(&Histogram::new(0.0, 10.0, 6));
     }
 
     #[test]

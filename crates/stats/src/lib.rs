@@ -17,12 +17,14 @@
 #![forbid(unsafe_code)]
 
 pub mod hist;
+pub mod merge;
 pub mod metrics;
 pub mod registry;
 pub mod summary;
 pub mod table;
 
 pub use hist::{percentile, Histogram};
+pub use merge::RunMetricsMerge;
 pub use metrics::{MessageMetric, RunMetrics};
 pub use registry::{MetricsRegistry, NamedCounter, NamedHistogram};
 pub use summary::Summary;

@@ -1,0 +1,154 @@
+//! Order-independent partial merging of per-run metrics.
+//!
+//! A parallel sweep finishes its runs in a nondeterministic order, but
+//! float addition is not associative — summing per-run means in arrival
+//! order would make the aggregate depend on scheduling. [`RunMetricsMerge`]
+//! therefore *collects* per-run metrics keyed by seed (collection order
+//! is irrelevant) and only sums in [`RunMetricsMerge::finalize`], which
+//! first sorts by seed. Any merge tree over any partition of the runs
+//! finalizes to the bit-identical aggregate the serial runner computes
+//! over its seed-ordered results.
+
+use crate::metrics::RunMetrics;
+use serde::{Deserialize, Serialize};
+
+/// An accumulating, order-independent partial merge of per-run
+/// [`RunMetrics`].
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RunMetricsMerge {
+    parts: Vec<SeededMetrics>,
+}
+
+/// One run's metrics tagged with the seed that produced them.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct SeededMetrics {
+    seed: u64,
+    metrics: RunMetrics,
+}
+
+impl RunMetricsMerge {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        RunMetricsMerge::default()
+    }
+
+    /// Absorbs one run's metrics. Order of absorption never matters.
+    pub fn absorb(&mut self, seed: u64, metrics: RunMetrics) {
+        self.parts.push(SeededMetrics { seed, metrics });
+    }
+
+    /// Folds another partial merge in (e.g. one worker's share of a
+    /// sweep point).
+    pub fn merge(&mut self, other: RunMetricsMerge) {
+        self.parts.extend(other.parts);
+    }
+
+    /// Runs absorbed so far.
+    pub fn len(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Whether nothing has been absorbed.
+    pub fn is_empty(&self) -> bool {
+        self.parts.is_empty()
+    }
+
+    /// Collapses the partial into the across-run mean, summing in
+    /// canonical (seed-ascending) order so the result is bit-identical
+    /// no matter how the partials were produced or combined. Ties on
+    /// seed keep absorption order (the serial runner never produces
+    /// duplicate seeds).
+    pub fn finalize(&self) -> RunMetrics {
+        let mut parts: Vec<&SeededMetrics> = self.parts.iter().collect();
+        parts.sort_by_key(|p| p.seed);
+        let n = parts.len().max(1) as f64;
+        let sum = |get: &dyn Fn(&RunMetrics) -> f64| -> f64 {
+            parts.iter().map(|p| get(&p.metrics)).sum::<f64>() / n
+        };
+        RunMetrics {
+            messages: parts.iter().map(|p| p.metrics.messages).sum(),
+            delivery_rate: sum(&|m| m.delivery_rate),
+            avg_contention_phases: sum(&|m| m.avg_contention_phases),
+            avg_completion_time: sum(&|m| m.avg_completion_time),
+            avg_delivered_frac: sum(&|m| m.avg_delivered_frac),
+            avg_reachable_frac: sum(&|m| m.avg_reachable_frac),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(x: f64) -> RunMetrics {
+        RunMetrics {
+            messages: 10,
+            delivery_rate: x,
+            avg_contention_phases: 1.0 + x,
+            avg_completion_time: 30.0 * x,
+            avg_delivered_frac: x / 2.0,
+            avg_reachable_frac: x / 3.0,
+        }
+    }
+
+    #[test]
+    fn finalize_matches_serial_mean() {
+        let xs = [0.91, 0.8700001, 0.99, 0.123456789];
+        let mut acc = RunMetricsMerge::new();
+        for (seed, &x) in xs.iter().enumerate() {
+            acc.absorb(seed as u64, metrics(x));
+        }
+        let out = acc.finalize();
+        let serial: f64 = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert_eq!(out.delivery_rate.to_bits(), serial.to_bits());
+        assert_eq!(out.messages, 40);
+    }
+
+    #[test]
+    fn any_merge_tree_finalizes_identically() {
+        // Values chosen so float addition order actually matters.
+        let xs = [1e16, 1.0, -1e16, 3.0, 1e-8, 7.77];
+        let absorb_all = |order: &[usize]| {
+            let mut acc = RunMetricsMerge::new();
+            for &i in order {
+                acc.absorb(i as u64, metrics(xs[i]));
+            }
+            acc
+        };
+        let flat = absorb_all(&[0, 1, 2, 3, 4, 5]).finalize();
+        let reversed = absorb_all(&[5, 4, 3, 2, 1, 0]).finalize();
+        let mut tree = absorb_all(&[3, 1]);
+        tree.merge(absorb_all(&[5, 0]));
+        tree.merge(absorb_all(&[2, 4]));
+        let tree = tree.finalize();
+        for other in [reversed, tree] {
+            assert_eq!(flat.delivery_rate.to_bits(), other.delivery_rate.to_bits());
+            assert_eq!(
+                flat.avg_completion_time.to_bits(),
+                other.avg_completion_time.to_bits()
+            );
+            assert_eq!(flat.messages, other.messages);
+        }
+    }
+
+    #[test]
+    fn empty_finalizes_to_zero() {
+        let out = RunMetricsMerge::new().finalize();
+        assert_eq!(out.messages, 0);
+        assert_eq!(out.delivery_rate, 0.0);
+    }
+
+    #[test]
+    fn partial_round_trips_through_json() {
+        let mut acc = RunMetricsMerge::new();
+        acc.absorb(3, metrics(0.5));
+        acc.absorb(1, metrics(0.25));
+        let json = serde_json::to_string(&acc).unwrap();
+        let back: RunMetricsMerge = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(
+            back.finalize().delivery_rate.to_bits(),
+            acc.finalize().delivery_rate.to_bits()
+        );
+    }
+}

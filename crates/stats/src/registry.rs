@@ -113,6 +113,32 @@ impl MetricsRegistry {
     pub fn histograms(&self) -> &[NamedHistogram] {
         &self.histograms
     }
+
+    /// Folds `other`'s counters and histograms into `self`.
+    ///
+    /// Counters and bins are integers, so the merge is exact and fully
+    /// order-independent: merging a set of per-run registries in any
+    /// order (or any tree shape — the partial merges a parallel sweep
+    /// produces) yields identical contents, and the sorted storage keeps
+    /// the serialized layout canonical without a separate finalize step.
+    ///
+    /// # Panics
+    /// If a histogram name carries different shapes in the two
+    /// registries.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for c in &other.counters {
+            self.add(&c.name, c.value);
+        }
+        for h in &other.histograms {
+            match self
+                .histograms
+                .binary_search_by(|mine| mine.name.as_str().cmp(&h.name))
+            {
+                Ok(i) => self.histograms[i].histogram.merge(&h.histogram),
+                Err(i) => self.histograms.insert(i, h.clone()),
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -150,6 +176,53 @@ mod tests {
         assert!(reg.is_empty());
         reg.inc("x");
         assert!(!reg.is_empty());
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let part = |names: &[&str], hist: f64| {
+            let mut reg = MetricsRegistry::new();
+            for n in names {
+                reg.inc(n);
+            }
+            reg.histogram_mut("h", 0.0, 10.0, 10).record(hist);
+            reg
+        };
+        let parts = [
+            part(&["alpha", "zeta"], 1.0),
+            part(&["zeta"], 9.5),
+            part(&["beta", "alpha", "alpha"], 4.0),
+        ];
+        // Merge the same parts in two different orders / tree shapes.
+        let mut left = MetricsRegistry::new();
+        for p in &parts {
+            left.merge(p);
+        }
+        let mut right_tail = parts[2].clone();
+        right_tail.merge(&parts[0]);
+        let mut right = parts[1].clone();
+        right.merge(&right_tail);
+        assert_eq!(
+            serde_json::to_string(&left).unwrap(),
+            serde_json::to_string(&right).unwrap(),
+            "merge order must not leak into the serialized registry"
+        );
+        assert_eq!(left.counter("alpha"), 3);
+        assert_eq!(left.counter("zeta"), 2);
+        assert_eq!(left.histogram("h").unwrap().count(), 3);
+    }
+
+    #[test]
+    fn merge_into_empty_clones_histograms() {
+        let mut src = MetricsRegistry::new();
+        src.histogram_mut("gaps", 0.0, 4.0, 4).record(1.0);
+        src.add("n", 2);
+        let mut dst = MetricsRegistry::new();
+        dst.merge(&src);
+        assert_eq!(dst.counter("n"), 2);
+        assert_eq!(dst.histogram("gaps").unwrap().count(), 1);
+        // And the source is untouched.
+        assert_eq!(src.histogram("gaps").unwrap().count(), 1);
     }
 
     #[test]

@@ -487,72 +487,37 @@ pub fn run_many_seeded(
     protocol: ProtocolKind,
     seed_base: u64,
 ) -> Vec<RunResult> {
-    let seeds: Vec<u64> = (0..scenario.n_runs as u64).map(|s| s + seed_base).collect();
-    let workers = std::thread::available_parallelism()
-        .map_or(4, |n| n.get())
-        .min(seeds.len().max(1));
-    let mut results: Vec<Option<RunResult>> = Vec::new();
-    results.resize_with(seeds.len(), || None);
+    run_many_jobs(scenario, protocol, seed_base, 0)
+}
 
-    std::thread::scope(|scope| {
-        let chunk = seeds.len().div_ceil(workers);
-        let mut rest: &mut [Option<RunResult>] = &mut results;
-        let mut offset = 0usize;
-        let mut handles = Vec::new();
-        while !rest.is_empty() {
-            let take = chunk.min(rest.len());
-            let (head, tail) = rest.split_at_mut(take);
-            rest = tail;
-            let seeds = &seeds[offset..offset + take];
-            offset += take;
-            handles.push(scope.spawn(move || {
-                for (slot, &seed) in head.iter_mut().zip(seeds) {
-                    *slot = Some(run_one(scenario, protocol, seed));
-                }
-            }));
-        }
-        for h in handles {
-            h.join().expect("runner worker panicked");
-        }
-    });
-    results
-        .into_iter()
-        .map(|r| r.expect("all seeds ran"))
-        .collect()
+/// [`run_many_seeded`] with an explicit worker count (`0` = one per
+/// available core). Each run derives all randomness from its own seed,
+/// and the fleet pool merges results back in seed order, so the output
+/// is identical at any worker count.
+pub fn run_many_jobs(
+    scenario: &Scenario,
+    protocol: ProtocolKind,
+    seed_base: u64,
+    workers: usize,
+) -> Vec<RunResult> {
+    let seeds: Vec<u64> = (0..scenario.n_runs as u64).map(|s| s + seed_base).collect();
+    let workers = rmm_fleet::resolve_workers(workers, seeds.len());
+    rmm_fleet::run_parallel(workers, &seeds, |_w, &seed| {
+        run_one(scenario, protocol, seed)
+    })
 }
 
 /// Means of the headline per-run metrics across `results` (delivery rate,
-/// contention phases, completion time), over group traffic.
+/// contention phases, completion time), over group traffic. Internally a
+/// seed-keyed partial merge with a canonical-order finalize, so the same
+/// set of runs yields the bit-identical mean regardless of the order the
+/// slice happens to be in.
 pub fn mean_group_metrics(results: &[RunResult]) -> RunMetrics {
-    let n = results.len().max(1) as f64;
-    RunMetrics {
-        messages: results.iter().map(|r| r.group_metrics.messages).sum(),
-        delivery_rate: results
-            .iter()
-            .map(|r| r.group_metrics.delivery_rate)
-            .sum::<f64>()
-            / n,
-        avg_contention_phases: results
-            .iter()
-            .map(|r| r.group_metrics.avg_contention_phases)
-            .sum::<f64>()
-            / n,
-        avg_completion_time: results
-            .iter()
-            .map(|r| r.group_metrics.avg_completion_time)
-            .sum::<f64>()
-            / n,
-        avg_delivered_frac: results
-            .iter()
-            .map(|r| r.group_metrics.avg_delivered_frac)
-            .sum::<f64>()
-            / n,
-        avg_reachable_frac: results
-            .iter()
-            .map(|r| r.group_metrics.avg_reachable_frac)
-            .sum::<f64>()
-            / n,
+    let mut merge = rmm_stats::RunMetricsMerge::new();
+    for r in results {
+        merge.absorb(r.seed, r.group_metrics);
     }
+    merge.finalize()
 }
 
 #[cfg(test)]
@@ -676,5 +641,78 @@ mod tests {
             .sum::<f64>()
             / results.len() as f64;
         assert!((mean.delivery_rate - manual).abs() < 1e-12);
+    }
+
+    #[test]
+    fn run_many_jobs_is_worker_count_invariant() {
+        let s = Scenario {
+            n_runs: 5,
+            ..small()
+        };
+        let serial = run_many_jobs(&s, ProtocolKind::Bmmm, 100, 1);
+        let serial_mean = mean_group_metrics(&serial);
+        for workers in [2, 8] {
+            let par = run_many_jobs(&s, ProtocolKind::Bmmm, 100, workers);
+            assert_eq!(par.len(), serial.len());
+            for (a, b) in serial.iter().zip(&par) {
+                assert_eq!(a.seed, b.seed);
+                assert_eq!(a.collisions, b.collisions);
+                assert_eq!(a.frames, b.frames);
+                assert_eq!(
+                    a.group_metrics.delivery_rate.to_bits(),
+                    b.group_metrics.delivery_rate.to_bits(),
+                    "workers = {workers}"
+                );
+                assert_eq!(
+                    a.group_metrics.avg_completion_time.to_bits(),
+                    b.group_metrics.avg_completion_time.to_bits()
+                );
+            }
+            let par_mean = mean_group_metrics(&par);
+            assert_eq!(
+                serial_mean.delivery_rate.to_bits(),
+                par_mean.delivery_rate.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn mean_group_metrics_is_order_independent() {
+        let s = small();
+        let mut results = run_many(&s, ProtocolKind::Bmw);
+        let forward = mean_group_metrics(&results);
+        results.reverse();
+        let backward = mean_group_metrics(&results);
+        assert_eq!(
+            forward.delivery_rate.to_bits(),
+            backward.delivery_rate.to_bits()
+        );
+        assert_eq!(
+            forward.avg_contention_phases.to_bits(),
+            backward.avg_contention_phases.to_bits()
+        );
+        assert_eq!(forward.messages, backward.messages);
+    }
+
+    #[test]
+    fn merged_run_registries_are_order_independent() {
+        let s = small();
+        let results = run_many(&s, ProtocolKind::Bmmm);
+        let regs: Vec<rmm_stats::MetricsRegistry> = results
+            .iter()
+            .map(|r| crate::observe::collect_metrics(&[], &r.messages))
+            .collect();
+        let mut forward = rmm_stats::MetricsRegistry::new();
+        for reg in &regs {
+            forward.merge(reg);
+        }
+        let mut backward = rmm_stats::MetricsRegistry::new();
+        for reg in regs.iter().rev() {
+            backward.merge(reg);
+        }
+        assert_eq!(
+            serde_json::to_string(&forward).unwrap(),
+            serde_json::to_string(&backward).unwrap()
+        );
     }
 }
