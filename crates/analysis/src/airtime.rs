@@ -8,6 +8,8 @@
 //! Responses occupy the slot right after the triggering frame (SIFS < one
 //! slot), matching `rmm-mac`'s timing model.
 
+use rmm_sim::AirtimeBreakdown;
+
 /// Timing inputs for the airtime formulas (mirrors `MacTiming`'s fields
 /// without depending on the MAC crate).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -116,6 +118,47 @@ impl Airtime {
     }
 }
 
+impl Airtime {
+    /// Predicted control share of *busy* airtime for loss-free BMMM
+    /// batches of size `m`: the `4cm` control slots of one batch over
+    /// the full batch airtime `4cm + d`. Contention/idle slots are
+    /// excluded on both sides, so this is directly comparable to
+    /// [`rmm_sim::AirtimeBreakdown::control_overhead_fraction`].
+    pub fn bmmm_control_fraction(&self, m: usize) -> f64 {
+        let control = 4 * self.control * m as u64;
+        control as f64 / (control + self.data) as f64
+    }
+
+    /// Compares this closed-form model against a measured channel
+    /// ledger ([`rmm_sim::AirtimeBreakdown`]) for a BMMM run serving
+    /// `m`-receiver groups. Both fractions come from the *same* slot
+    /// accounting (the engine's `AirtimeLedger`), so in a loss-free,
+    /// collision-free run the gap is exactly zero.
+    pub fn compare_bmmm(&self, m: usize, measured: &AirtimeBreakdown) -> AirtimeComparison {
+        let predicted = self.bmmm_control_fraction(m);
+        let observed = measured.control_overhead_fraction();
+        AirtimeComparison {
+            predicted_control_fraction: predicted,
+            measured_control_fraction: observed,
+            gap: observed - predicted,
+        }
+    }
+}
+
+/// Outcome of checking a closed-form control-overhead prediction
+/// against a measured [`AirtimeBreakdown`] — the Section 5 "RAK frames
+/// cost less than the contention they remove" claim, made testable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AirtimeComparison {
+    /// Model prediction: control slots / busy slots.
+    pub predicted_control_fraction: f64,
+    /// Ledger measurement of the same ratio.
+    pub measured_control_fraction: f64,
+    /// `measured − predicted`; positive means the run paid more control
+    /// overhead than the loss-free model (retries, collisions).
+    pub gap: f64,
+}
+
 /// Protocols covered by [`Airtime::frame_budget`]. LAMM's budget is
 /// BMMM's evaluated at `m = ‖MCS(S)‖`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -200,6 +243,79 @@ mod tests {
             cw: 0,
         };
         assert!(a.bmw_completion(10) < a.bmmm_completion(10));
+    }
+
+    #[test]
+    fn predicted_control_fraction_matches_ideal_ledger_exactly() {
+        // Replay the hand timeline of `batch_formula_matches_hand_timeline`
+        // into a real channel ledger: one loss-free BMMM batch to m = 2
+        // receivers (RTS CTS RTS CTS DATA×5 RAK ACK RAK ACK), preceded by
+        // 8 contention slots. The closed-form fraction and the ledger's
+        // measurement must agree exactly — same slots, two accountants.
+        use rmm_sim::{AirtimeLedger, FrameKind};
+        let a = Airtime::default();
+        let mut ledger = AirtimeLedger::new();
+        let mut t = 8; // DIFS + backoff: idle, invisible to busy airtime
+        for kind in [
+            FrameKind::Rts,
+            FrameKind::Cts,
+            FrameKind::Rts,
+            FrameKind::Cts,
+        ] {
+            ledger.mark_tx(kind, t, t + a.control);
+            t += a.control;
+        }
+        ledger.mark_tx(FrameKind::Data, t, t + a.data);
+        t += a.data;
+        for kind in [
+            FrameKind::Rak,
+            FrameKind::Ack,
+            FrameKind::Rak,
+            FrameKind::Ack,
+        ] {
+            ledger.mark_tx(kind, t, t + a.control);
+            t += a.control;
+        }
+        let measured = ledger.breakdown(t + 10);
+        assert_eq!(measured.busy_slots(), a.bmmm_batch(2));
+        let cmp = a.compare_bmmm(2, &measured);
+        assert_eq!(cmp.gap, 0.0);
+        assert_eq!(cmp.predicted_control_fraction, 8.0 / 13.0);
+        assert_eq!(cmp.measured_control_fraction, 8.0 / 13.0);
+    }
+
+    #[test]
+    fn lossy_runs_show_positive_control_gap() {
+        // A retried RTS (no CTS came back) adds control airtime the
+        // loss-free model does not predict: the gap goes positive.
+        use rmm_sim::{AirtimeLedger, FrameKind};
+        let a = Airtime::default();
+        let mut ledger = AirtimeLedger::new();
+        ledger.mark_tx(FrameKind::Rts, 0, 1); // lost: retried below
+        let mut t = 10;
+        for kind in [
+            FrameKind::Rts,
+            FrameKind::Cts,
+            FrameKind::Rts,
+            FrameKind::Cts,
+        ] {
+            ledger.mark_tx(kind, t, t + a.control);
+            t += a.control;
+        }
+        ledger.mark_tx(FrameKind::Data, t, t + a.data);
+        t += a.data;
+        for kind in [
+            FrameKind::Rak,
+            FrameKind::Ack,
+            FrameKind::Rak,
+            FrameKind::Ack,
+        ] {
+            ledger.mark_tx(kind, t, t + a.control);
+            t += a.control;
+        }
+        let cmp = a.compare_bmmm(2, &ledger.breakdown(t));
+        assert!(cmp.gap > 0.0, "retry airtime must surface as a gap");
+        assert_eq!(cmp.measured_control_fraction, 9.0 / 14.0);
     }
 
     #[test]

@@ -14,7 +14,7 @@ pub mod batch;
 pub mod combinatorics;
 pub mod contention;
 
-pub use airtime::{Airtime, FrameBudgetProtocol};
+pub use airtime::{Airtime, AirtimeComparison, FrameBudgetProtocol};
 pub use batch::{
     bmmm_expected_total_phases, bmw_expected_total_phases, lamm_expected_total_phases,
 };

@@ -158,6 +158,7 @@ struct ScenarioReport {
 struct Report {
     bench: &'static str,
     smoke: bool,
+    host: rmm_bench::HostMeta,
     scenarios: Vec<ScenarioReport>,
 }
 
@@ -214,6 +215,7 @@ fn main() {
     let report = Report {
         bench: "engine_horizon",
         smoke,
+        host: rmm_bench::host_meta(),
         scenarios,
     };
     let out = std::env::var("BENCH_ENGINE_OUT").unwrap_or_else(|_| {

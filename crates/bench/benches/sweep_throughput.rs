@@ -53,6 +53,7 @@ fn median(mut xs: Vec<f64>) -> f64 {
 struct Report {
     bench: &'static str,
     smoke: bool,
+    host: rmm_bench::HostMeta,
     cores: usize,
     workers: usize,
     n_runs: usize,
@@ -99,6 +100,7 @@ fn main() {
     let report = Report {
         bench: "sweep_throughput",
         smoke,
+        host: rmm_bench::host_meta(),
         cores,
         workers: cores,
         n_runs: scenario.n_runs,

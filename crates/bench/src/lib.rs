@@ -12,6 +12,35 @@
 //!    tracked over time.
 
 use rmm::prelude::*;
+use serde::Serialize;
+
+/// Host provenance stamped into every `BENCH_*.json`, so numbers can be
+/// compared across machines and build configurations.
+#[derive(Debug, Clone, Serialize)]
+pub struct HostMeta {
+    /// Logical cores visible to the process.
+    pub cores: usize,
+    /// Operating system (`std::env::consts::OS`).
+    pub os: &'static str,
+    /// CPU architecture (`std::env::consts::ARCH`).
+    pub arch: &'static str,
+    /// `release` or `debug`, from `cfg!(debug_assertions)`.
+    pub build_profile: &'static str,
+}
+
+/// Captures the current host's metadata.
+pub fn host_meta() -> HostMeta {
+    HostMeta {
+        cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        os: std::env::consts::OS,
+        arch: std::env::consts::ARCH,
+        build_profile: if cfg!(debug_assertions) {
+            "debug"
+        } else {
+            "release"
+        },
+    }
+}
 
 /// Bench-scale scenario: the paper's Table 2 parameters with fewer slots
 /// and runs, sized to keep `cargo bench` minutes-scale on one core.

@@ -21,10 +21,10 @@
 use rmm::fleet::{run_sweep, Fnv1a, JobId, SweepConfig};
 use rmm::mac::ProtocolKind;
 use rmm::sim::{FaultPlan, GilbertElliott};
-use rmm::stats::{Summary, Table};
+use rmm::stats::{render_profile, render_registry, Summary, Table};
 use rmm::workload::{
-    collect_metrics, mean_group_metrics, run_many_jobs, run_one, run_one_traced, RunResult,
-    Scenario,
+    collect_dwell, collect_metrics, mean_group_metrics, run_many_jobs, run_one,
+    run_one_profiled_traced, run_one_traced, RunResult, Scenario,
 };
 
 /// How a run sweep is executed: worker count and optional resumable
@@ -57,6 +57,8 @@ pub enum Command {
         trace_out: Option<String>,
         /// Write a traced run's metrics registry (JSON) to this file.
         metrics_out: Option<String>,
+        /// Write a profiled run's attribution report (JSON) to this file.
+        profile_out: Option<String>,
         /// Parallelism and resume options.
         sweep: SweepOpts,
     },
@@ -86,6 +88,21 @@ pub enum Command {
         /// Metrics registry destination (not written when absent).
         metrics_out: Option<String>,
     },
+    /// Profile one run: engine phase timers, airtime ledger, FSM dwell.
+    Prof {
+        /// Protocol under test.
+        protocol: ProtocolKind,
+        /// Scenario after config + overrides.
+        scenario: Scenario,
+        /// Seed of the profiled run.
+        seed: u64,
+        /// Emit machine-readable JSON instead of tables.
+        json: bool,
+        /// Write the attribution report (JSON) to this file.
+        profile_out: Option<String>,
+        /// Write a Prometheus text-exposition snapshot to this file.
+        prom_out: Option<String>,
+    },
     /// Print the default scenario as a JSON template.
     Config,
     /// Print usage.
@@ -101,7 +118,7 @@ pub enum CliError {
     BadValue(String),
     /// The config file could not be read or parsed.
     BadConfig(String),
-    /// `run` and `trace` require `--protocol`.
+    /// `run`, `trace`, and `prof` require `--protocol`.
     MissingProtocol,
 }
 
@@ -111,7 +128,9 @@ impl std::fmt::Display for CliError {
             CliError::Unknown(s) => write!(f, "unknown argument: {s}"),
             CliError::BadValue(s) => write!(f, "bad or missing value for {s}"),
             CliError::BadConfig(s) => write!(f, "config error: {s}"),
-            CliError::MissingProtocol => write!(f, "`run` and `trace` require --protocol <name>"),
+            CliError::MissingProtocol => {
+                write!(f, "`run`, `trace`, and `prof` require --protocol <name>")
+            }
         }
     }
 }
@@ -142,13 +161,15 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
     match sub.as_str() {
         "config" => Ok(Command::Config),
         "help" | "--help" | "-h" => Ok(Command::Help),
-        "run" | "compare" | "trace" => {
+        "run" | "compare" | "trace" | "prof" => {
             let mut protocol = None;
             let mut scenario = Scenario::default();
             let mut seed = 0u64;
             let mut json = false;
             let mut trace_out = None;
             let mut metrics_out = None;
+            let mut profile_out = None;
+            let mut prom_out = None;
             let mut sweep = SweepOpts::default();
             let rest: Vec<String> = args.collect();
             let mut i = 0;
@@ -222,19 +243,27 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
                         seed = parse_num(&rest, i, "--seed")?;
                         i += 2;
                     }
-                    "--trace-out" if sub != "compare" => {
+                    "--trace-out" if sub == "run" || sub == "trace" => {
                         trace_out = Some(value(&rest, i, "--trace-out")?);
                         i += 2;
                     }
-                    "--metrics-out" => {
+                    "--metrics-out" if sub != "prof" => {
                         metrics_out = Some(value(&rest, i, "--metrics-out")?);
+                        i += 2;
+                    }
+                    "--profile-out" if sub == "run" || sub == "prof" => {
+                        profile_out = Some(value(&rest, i, "--profile-out")?);
+                        i += 2;
+                    }
+                    "--prom-out" if sub == "prof" => {
+                        prom_out = Some(value(&rest, i, "--prom-out")?);
                         i += 2;
                     }
                     "--json" if sub != "trace" => {
                         json = true;
                         i += 1;
                     }
-                    "--jobs" if sub != "trace" => {
+                    "--jobs" if sub == "run" || sub == "compare" => {
                         sweep.jobs = parse_num(&rest, i, "--jobs")?;
                         i += 2;
                     }
@@ -262,7 +291,16 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
                     json,
                     trace_out,
                     metrics_out,
+                    profile_out,
                     sweep,
+                }),
+                "prof" => Ok(Command::Prof {
+                    protocol: protocol.ok_or(CliError::MissingProtocol)?,
+                    scenario,
+                    seed,
+                    json,
+                    profile_out,
+                    prom_out,
                 }),
                 "trace" => Ok(Command::Trace {
                     protocol: protocol.ok_or(CliError::MissingProtocol)?,
@@ -325,6 +363,7 @@ fn sweep_runs(
         manifest_path: Some(path.into()),
         options_hash: h.finish(),
         quiet: true,
+        work_per_job: scenario.sim_slots,
     };
     match run_sweep(&config, &ids, |id, _| run_one(scenario, protocol, id.seed)) {
         Ok(out) => {
@@ -481,6 +520,118 @@ pub fn export_trace(protocol: ProtocolKind, scenario: &Scenario, seed: u64) -> T
     }
 }
 
+/// Artifacts from one profiled run, ready to write out.
+#[derive(Debug, Clone)]
+pub struct ProfExport {
+    /// Hot-path attribution report (phase timers, airtime ledger, FSM
+    /// dwell totals), pretty JSON.
+    pub profile_json: String,
+    /// The same data as a Prometheus text-exposition snapshot.
+    pub prom_text: String,
+    /// Human-readable tables: phase attribution, airtime, dwell.
+    pub human: String,
+    /// One-line summary for stderr.
+    pub summary: String,
+}
+
+/// Executes one profiled + traced run and renders its attribution
+/// artifacts.
+///
+/// The run is traced so the airtime ledger can be joined with dwell
+/// times derived from the event log; trace-recording cost is therefore
+/// included in the phase attribution (dominated by the Resolve phase).
+pub fn export_profile(protocol: ProtocolKind, scenario: &Scenario, seed: u64) -> ProfExport {
+    let (result, report, trace) = run_one_profiled_traced(scenario, protocol, seed);
+    let dwell = collect_dwell(trace.events(), scenario.n_nodes);
+    let mut registry = collect_metrics(trace.events(), &result.messages);
+    registry.merge(&dwell.to_registry());
+    let air = result.airtime;
+
+    let mut doc = serde_json::Map::new();
+    doc.insert("protocol", serde_json::to_value(&protocol.name()));
+    doc.insert("seed", serde_json::to_value(&seed));
+    doc.insert("slots", serde_json::to_value(&scenario.sim_slots));
+    doc.insert("profile", serde_json::to_value(&report));
+    doc.insert("airtime", serde_json::to_value(&air));
+    doc.insert("dwell", serde_json::to_value(&dwell.network_totals()));
+    let profile_json = serde_json::Value::Object(doc).pretty();
+
+    let mut prom_text = render_profile(&report, "rmm_engine");
+    prom_text.push_str(&render_registry(&registry, "rmm"));
+
+    let share = |ns: u64| format!("{:.1}%", 100.0 * ns as f64 / report.total_ns.max(1) as f64);
+    let mut phases = Table::new(["phase", "ns", "calls", "share"]);
+    for p in &report.phases {
+        phases.row([
+            p.name.clone(),
+            p.ns.to_string(),
+            p.calls.to_string(),
+            share(p.ns),
+        ]);
+    }
+    let frac = |slots: u64| format!("{:.3}", slots as f64 / air.total_slots.max(1) as f64);
+    let mut airtime = Table::new(["airtime", "slots", "fraction"]);
+    airtime.row([
+        "idle".to_string(),
+        air.idle_slots.to_string(),
+        frac(air.idle_slots),
+    ]);
+    airtime.row([
+        "data (success)".to_string(),
+        air.data_slots.to_string(),
+        frac(air.data_slots),
+    ]);
+    airtime.row([
+        "control".to_string(),
+        air.control_slots.to_string(),
+        frac(air.control_slots),
+    ]);
+    airtime.row([
+        "collision".to_string(),
+        air.collision_slots.to_string(),
+        frac(air.collision_slots),
+    ]);
+    airtime.row([
+        "total".to_string(),
+        air.total_slots.to_string(),
+        "1.000".to_string(),
+    ]);
+    let totals = dwell.network_totals();
+    let mut dw = Table::new(["dwell (network)", "slots"]);
+    dw.row([
+        "contention".to_string(),
+        totals.contention_slots.to_string(),
+    ]);
+    dw.row(["batch service".to_string(), totals.batch_slots.to_string()]);
+    dw.row(["ack wait".to_string(), totals.ack_wait_slots.to_string()]);
+    dw.row([
+        "backoff drawn".to_string(),
+        totals.backoff_slots.to_string(),
+    ]);
+    let human = format!("{}\n{}\n{}", phases.render(), airtime.render(), dw.render());
+
+    let hottest = report.phases.iter().max_by_key(|p| p.ns);
+    let summary = format!(
+        "{} seed {}: {} slots profiled in {} us; hottest phase {} ({}); \
+         airtime {} data / {} control / {} collision",
+        protocol.name(),
+        seed,
+        scenario.sim_slots,
+        report.total_ns / 1_000,
+        hottest.map_or("-", |p| p.name.as_str()),
+        hottest.map_or_else(|| "0.0%".to_string(), |p| share(p.ns)),
+        frac(air.data_slots),
+        frac(air.control_slots),
+        frac(air.collision_slots),
+    );
+    ProfExport {
+        profile_json,
+        prom_text,
+        human,
+        summary,
+    }
+}
+
 /// Traced-run metrics for every protocol on one scenario, as a pretty
 /// JSON array of `{protocol, metrics}` objects (for `compare
 /// --metrics-out`).
@@ -512,6 +663,8 @@ usage:
   rmm run --protocol <802.11|tg|bsma|bmw|bmmm|lamm|leader|uncoord> [options]
   rmm compare [options]
   rmm trace --protocol <name> [options]   # one traced run, JSONL events
+  rmm prof --protocol <name> [options]    # one profiled run: phase timers,
+                                          # airtime ledger, FSM dwell
   rmm config              # print a scenario JSON template
 
 options:
@@ -524,6 +677,10 @@ options:
   --trace-out <file>      write the traced run's events as JSON Lines
                           (run/trace; trace prints to stdout by default)
   --metrics-out <file>    write trace-derived counters/histograms as JSON
+  --profile-out <file>    write a profiled run's attribution report as JSON
+                          (run/prof): engine phase timers, airtime ledger,
+                          per-station FSM dwell totals
+  --prom-out <file>       write a Prometheus text-exposition snapshot (prof)
   --jobs N                worker threads for the run sweep (run/compare;
                           0 = one per core; results identical at any N)
   --manifest <file>       record completed runs for later --resume (run)
@@ -561,6 +718,7 @@ mod tests {
                 json,
                 trace_out,
                 metrics_out,
+                profile_out,
                 sweep,
             } => {
                 assert_eq!(protocol, ProtocolKind::Lamm);
@@ -571,6 +729,7 @@ mod tests {
                 assert!(json);
                 assert_eq!(trace_out, None);
                 assert_eq!(metrics_out, None);
+                assert_eq!(profile_out, None);
                 assert_eq!(sweep, SweepOpts::default());
             }
             other => panic!("{other:?}"),
@@ -610,6 +769,81 @@ mod tests {
             parse_args(args("trace --seed 3")),
             Err(CliError::MissingProtocol)
         );
+        assert_eq!(
+            parse_args(args("prof --seed 3")),
+            Err(CliError::MissingProtocol)
+        );
+    }
+
+    #[test]
+    fn parse_prof_flags() {
+        let cmd = parse_args(args(
+            "prof --protocol bmmm --seed 9 --profile-out p.json --prom-out p.prom",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Prof {
+                protocol,
+                seed,
+                json,
+                profile_out,
+                prom_out,
+                ..
+            } => {
+                assert_eq!(protocol, ProtocolKind::Bmmm);
+                assert_eq!(seed, 9);
+                assert!(!json);
+                assert_eq!(profile_out.as_deref(), Some("p.json"));
+                assert_eq!(prom_out.as_deref(), Some("p.prom"));
+            }
+            other => panic!("{other:?}"),
+        }
+        // run also takes --profile-out; prof is a single run, so sweep
+        // and trace flags are rejected there.
+        assert!(matches!(
+            parse_args(args("run --protocol bmw --profile-out p.json")),
+            Ok(Command::Run {
+                profile_out: Some(_),
+                ..
+            })
+        ));
+        assert!(matches!(
+            parse_args(args("prof --protocol bmmm --jobs 2")),
+            Err(CliError::Unknown(_))
+        ));
+        assert!(matches!(
+            parse_args(args("prof --protocol bmmm --trace-out t.jsonl")),
+            Err(CliError::Unknown(_))
+        ));
+        assert!(matches!(
+            parse_args(args("trace --protocol bmmm --prom-out p.prom")),
+            Err(CliError::Unknown(_))
+        ));
+    }
+
+    #[test]
+    fn export_profile_produces_parseable_artifacts() {
+        let scenario = Scenario {
+            n_nodes: 25,
+            sim_slots: 1_200,
+            n_runs: 1,
+            ..Scenario::default()
+        };
+        let prof = export_profile(ProtocolKind::Bmmm, &scenario, 5);
+        let v: serde_json::Value = serde_json::from_str(&prof.profile_json).unwrap();
+        assert_eq!(v["protocol"].as_str(), Some("BMMM"));
+        assert_eq!(v["seed"].as_u64(), Some(5));
+        assert_eq!(v["airtime"]["total_slots"].as_u64(), Some(1_200));
+        assert!(v["profile"]["total_ns"].as_u64().unwrap() > 0);
+        assert!(v["dwell"]["contention_slots"].as_u64().is_some());
+        assert!(prof
+            .prom_text
+            .contains("rmm_engine_phase_ns{phase=\"fsm_dispatch\"}"));
+        assert!(prof.prom_text.contains("# TYPE rmm_tx_frames counter"));
+        assert!(prof.prom_text.contains("rmm_dwell_contention_slots"));
+        assert!(prof.human.contains("fsm_dispatch"));
+        assert!(prof.human.contains("collision"));
+        assert!(prof.summary.contains("BMMM seed 5"));
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! The `rmm` binary. See [`rmm_cli`] for the command grammar.
 
 use rmm_cli::{
-    compare_metrics_json, export_trace, parse_args, render_compare, render_run, Command, USAGE,
+    compare_metrics_json, export_profile, export_trace, parse_args, render_compare, render_run,
+    Command, USAGE,
 };
 
 fn write_file(path: &str, contents: &str) {
@@ -29,6 +30,7 @@ fn main() {
             json,
             trace_out,
             metrics_out,
+            profile_out,
             sweep,
         } => {
             match render_run(protocol, &scenario, seed, json, &sweep) {
@@ -50,6 +52,11 @@ fn main() {
                     write_file(path, &export.metrics_json);
                 }
                 eprintln!("{}", export.summary);
+            }
+            if let Some(path) = profile_out.as_deref() {
+                let prof = export_profile(protocol, &scenario, seed);
+                write_file(path, &prof.profile_json);
+                eprintln!("{}", prof.summary);
             }
         }
         Command::Compare {
@@ -83,6 +90,28 @@ fn main() {
                 write_file(path, &export.metrics_json);
             }
             eprintln!("{}", export.summary);
+        }
+        Command::Prof {
+            protocol,
+            scenario,
+            seed,
+            json,
+            profile_out,
+            prom_out,
+        } => {
+            let prof = export_profile(protocol, &scenario, seed);
+            if json {
+                println!("{}", prof.profile_json);
+            } else {
+                print!("{}", prof.human);
+            }
+            if let Some(path) = profile_out.as_deref() {
+                write_file(path, &prof.profile_json);
+            }
+            if let Some(path) = prom_out.as_deref() {
+                write_file(path, &prof.prom_text);
+            }
+            eprintln!("{}", prof.summary);
         }
     }
 }

@@ -94,6 +94,7 @@ where
         manifest_path: Some(options.out_dir.join(format!("{experiment}.manifest.jsonl"))),
         options_hash: h.finish(),
         quiet: false,
+        work_per_job: options.slots,
     };
     match run_sweep(&config, jobs, run) {
         Ok(out) => {

@@ -1,4 +1,5 @@
-//! Live sweep progress on stderr: jobs done/total, ETA, and what each
+//! Live sweep progress on stderr: jobs done/total, ETA, throughput
+//! (jobs/s and, when the job size is known, work units/s), and what each
 //! worker is currently chewing on.
 //!
 //! Reporting is throttled (at most one line every ~500 ms, plus a final
@@ -6,7 +7,7 @@
 //! stdout artifacts untouched.
 
 use crate::id::JobId;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -17,10 +18,33 @@ pub struct Progress {
     label: String,
     total: usize,
     done: AtomicUsize,
+    /// Jobs loaded from a manifest rather than executed — excluded from
+    /// throughput, which only rates work actually done this session.
+    already_done: usize,
+    /// Jobs completed per worker this session.
+    worker_done: Vec<AtomicUsize>,
+    /// Work units (e.g. simulated slots) per completed job; 0 disables
+    /// the work-rate readout.
+    work_per_job: u64,
+    /// Work units completed this session.
+    work_done: AtomicU64,
     start: Instant,
     current: Mutex<Vec<Option<String>>>,
     last_print: Mutex<Instant>,
     quiet: bool,
+}
+
+/// Compact human magnitude for rate readouts (`1234567` → `1.2M`).
+fn human(x: f64) -> String {
+    if x >= 1e9 {
+        format!("{:.1}G", x / 1e9)
+    } else if x >= 1e6 {
+        format!("{:.1}M", x / 1e6)
+    } else if x >= 1e3 {
+        format!("{:.1}k", x / 1e3)
+    } else {
+        format!("{x:.1}")
+    }
 }
 
 impl Progress {
@@ -38,12 +62,47 @@ impl Progress {
             label: label.to_string(),
             total,
             done: AtomicUsize::new(already_done),
+            already_done,
+            worker_done: (0..workers).map(|_| AtomicUsize::new(0)).collect(),
+            work_per_job: 0,
+            work_done: AtomicU64::new(0),
             start,
             current: Mutex::new(vec![None; workers]),
             // Backdate so the very first completion prints immediately.
             last_print: Mutex::new(start.checked_sub(THROTTLE).unwrap_or(start)),
             quiet,
         }
+    }
+
+    /// Declares how many work units (simulated slots, bytes, …) each job
+    /// represents, enabling the `units/s` readout. Call before sharing
+    /// the reporter with workers.
+    pub fn set_work_per_job(&mut self, work_per_job: u64) {
+        self.work_per_job = work_per_job;
+    }
+
+    /// Jobs completed by each worker this session.
+    pub fn worker_jobs(&self) -> Vec<usize> {
+        self.worker_done
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Overall jobs/second this session (executed jobs only — manifest
+    /// reuse doesn't count as throughput).
+    pub fn jobs_per_sec(&self) -> f64 {
+        let executed = self
+            .done
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.already_done);
+        executed as f64 / self.start.elapsed().as_secs_f64().max(1e-9)
+    }
+
+    /// Overall work units/second this session (0 unless
+    /// [`Progress::set_work_per_job`] was called).
+    pub fn work_per_sec(&self) -> f64 {
+        self.work_done.load(Ordering::Relaxed) as f64 / self.start.elapsed().as_secs_f64().max(1e-9)
     }
 
     /// Records that `worker` picked up `id`.
@@ -60,6 +119,11 @@ impl Progress {
     /// Records one finished job and maybe prints a status line.
     pub fn finished(&self, worker: usize, _id: &JobId) {
         let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(w) = self.worker_done.get(worker) {
+            w.fetch_add(1, Ordering::Relaxed);
+        }
+        self.work_done
+            .fetch_add(self.work_per_job, Ordering::Relaxed);
         if self.quiet {
             return;
         }
@@ -80,7 +144,8 @@ impl Progress {
         eprintln!("{}", self.render(done));
     }
 
-    /// One status line: `[fleet density] 120/240 (50.0%) 3.2s eta 3.2s | w1 nodes=80/BMW#40003`.
+    /// One status line:
+    /// `[fleet density] 120/240 (50.0%) 3.2s eta 3.2s 37.5 jobs/s 375.0k units/s | w1 nodes=80/BMW#40003`.
     fn render(&self, done: usize) -> String {
         let elapsed = self.start.elapsed().as_secs_f64();
         let eta = if done == 0 {
@@ -95,11 +160,27 @@ impl Progress {
             self.total,
             100.0 * done as f64 / self.total.max(1) as f64,
         );
+        let executed = done.saturating_sub(self.already_done);
+        if executed > 0 && elapsed > 0.0 {
+            line.push_str(&format!(" {} jobs/s", human(executed as f64 / elapsed)));
+            if self.work_per_job > 0 {
+                let work = self.work_done.load(Ordering::Relaxed) as f64;
+                line.push_str(&format!(" {} units/s", human(work / elapsed)));
+            }
+        }
         let current = self.current.lock().expect("progress state poisoned");
         let busy: Vec<String> = current
             .iter()
             .enumerate()
-            .filter_map(|(w, c)| c.as_ref().map(|cell| format!("w{w} {cell}")))
+            .filter_map(|(w, c)| {
+                c.as_ref().map(|cell| {
+                    let jobs = self
+                        .worker_done
+                        .get(w)
+                        .map_or(0, |d| d.load(Ordering::Relaxed));
+                    format!("w{w}({jobs}) {cell}")
+                })
+            })
             .collect();
         if !busy.is_empty() {
             line.push_str(" | ");
@@ -119,7 +200,8 @@ mod tests {
         p.started(1, &JobId::new("density", "nodes=40/BMW", 7));
         let line = p.render(5);
         assert!(line.contains("[fleet density] 5/10 (50.0%)"), "{line}");
-        assert!(line.contains("w1 nodes=40/BMW#7"), "{line}");
+        assert!(line.contains("w1(0) nodes=40/BMW#7"), "{line}");
+        assert!(line.contains("jobs/s"), "{line}");
     }
 
     #[test]
@@ -130,5 +212,37 @@ mod tests {
         p.finished(0, &id);
         assert!(!p.render(1).contains("w0"));
         assert_eq!(p.done.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn work_rate_tracks_completed_jobs() {
+        let mut p = Progress::new("x", 4, 0, 2, true);
+        p.set_work_per_job(10_000);
+        let id = JobId::new("x", "p", 0);
+        p.finished(0, &id);
+        p.finished(1, &id);
+        p.finished(1, &id);
+        assert_eq!(p.work_done.load(Ordering::Relaxed), 30_000);
+        assert_eq!(p.worker_jobs(), vec![1, 2]);
+        assert!(p.jobs_per_sec() > 0.0);
+        assert!(p.work_per_sec() > p.jobs_per_sec());
+        let line = p.render(3);
+        assert!(line.contains("units/s"), "{line}");
+    }
+
+    #[test]
+    fn reused_jobs_do_not_count_as_throughput() {
+        let p = Progress::new("x", 10, 8, 1, true);
+        assert_eq!(p.jobs_per_sec(), 0.0);
+        let line = p.render(8);
+        assert!(!line.contains("jobs/s"), "{line}");
+    }
+
+    #[test]
+    fn human_magnitudes() {
+        assert_eq!(human(3.2), "3.2");
+        assert_eq!(human(1_500.0), "1.5k");
+        assert_eq!(human(2_500_000.0), "2.5M");
+        assert_eq!(human(7.2e9), "7.2G");
     }
 }

@@ -27,6 +27,9 @@ pub struct SweepConfig {
     pub options_hash: u64,
     /// Suppress progress output.
     pub quiet: bool,
+    /// Work units one job represents (e.g. simulated slots), for the
+    /// progress reporter's throughput readout. 0 = unreported.
+    pub work_per_job: u64,
 }
 
 impl SweepConfig {
@@ -39,6 +42,7 @@ impl SweepConfig {
             manifest_path: None,
             options_hash: 0,
             quiet: true,
+            work_per_job: 0,
         }
     }
 }
@@ -140,7 +144,9 @@ where
         .collect();
     let reused = jobs.len() - pending.len();
     let workers = resolve_workers(config.workers, pending.len());
-    let progress = Progress::new(&config.name, jobs.len(), reused, workers, config.quiet);
+    let mut progress = Progress::new(&config.name, jobs.len(), reused, workers, config.quiet);
+    progress.set_work_per_job(config.work_per_job);
+    let progress = progress;
     let executed_results: Vec<R> = run_observed(
         workers,
         &pending,

@@ -20,6 +20,7 @@ use crate::capture::Capture;
 use crate::fault::{BurstChain, GilbertElliott};
 use crate::frame::Frame;
 use crate::ids::{NodeId, Slot};
+use crate::ledger::AirtimeLedger;
 use crate::topology::Topology;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -146,6 +147,12 @@ pub struct Channel {
     ended_scratch: Vec<usize>,
     /// Scratch: indices of interferers at one receiver.
     interferer_scratch: Vec<usize>,
+    /// Scratch: slot intervals of frames destroyed by collisions during
+    /// one resolution pass, drained into the ledger afterwards.
+    collided_scratch: Vec<(Slot, Slot)>,
+    /// Per-slot airtime classification (idle / data / control /
+    /// collision), stamped as transmissions start and resolve.
+    ledger: AirtimeLedger,
     /// Independent per-reception frame error probability (transmission
     /// errors other than collisions — noise, fading). The paper's
     /// Section 6 analysis folds these into its `q`; default 0.
@@ -173,6 +180,8 @@ impl Channel {
             latest_end: 0,
             ended_scratch: Vec::new(),
             interferer_scratch: Vec::new(),
+            collided_scratch: Vec::new(),
+            ledger: AirtimeLedger::new(),
             fer: 0.0,
             burst: None,
             collisions_total: 0,
@@ -234,11 +243,17 @@ impl Channel {
         self.max_len = self.max_len.max(len);
         let end = now + Slot::from(len);
         self.latest_end = self.latest_end.max(end);
+        self.ledger.mark_tx(frame.kind, now, end);
         self.transmissions.push(Transmission {
             start: now,
             end,
             frame,
         });
+    }
+
+    /// The per-slot airtime ledger accumulated so far.
+    pub fn ledger(&self) -> &AirtimeLedger {
+        &self.ledger
     }
 
     /// Whether slot `slot` is dead air: every transmission ever begun
@@ -319,21 +334,36 @@ impl Channel {
         }
         let mut ended = std::mem::take(&mut self.ended_scratch);
         let mut interferers = std::mem::take(&mut self.interferer_scratch);
+        let mut collided = std::mem::take(&mut self.collided_scratch);
         ended.clear();
+        collided.clear();
         ended.extend((0..self.transmissions.len()).filter(|&i| self.transmissions[i].end == now));
         for &fi in &ended {
             let f = &self.transmissions[fi];
             for &r in topo.neighbors(f.frame.src) {
-                self.resolve_at_receiver(fi, r, topo, rng, outcome, &mut interferers);
+                self.resolve_at_receiver(
+                    fi,
+                    r,
+                    topo,
+                    rng,
+                    outcome,
+                    &mut interferers,
+                    &mut collided,
+                );
             }
+        }
+        for &(s, e) in &collided {
+            self.ledger.mark_collided(s, e);
         }
         self.ended_scratch = ended;
         self.interferer_scratch = interferers;
+        self.collided_scratch = collided;
         if let Some(burst) = &mut self.burst {
             self.burst_errors_total += burst.apply(outcome);
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn resolve_at_receiver(
         &self,
         fi: usize,
@@ -342,6 +372,7 @@ impl Channel {
         rng: &mut SmallRng,
         outcome: &mut SlotOutcome,
         interferers: &mut Vec<usize>,
+        collided: &mut Vec<(Slot, Slot)>,
     ) {
         let f = &self.transmissions[fi];
         // Half-duplex: a station transmitting during the frame hears nothing.
@@ -375,7 +406,17 @@ impl Channel {
             return;
         }
 
-        // Collision. Capture can only rescue a synchronized control-frame
+        // Collision: the frame and every interferer burned their airtime
+        // (even a capture rescue destroys the other frames of the
+        // pile-up). The ledger dedups repeated marks, so recording the
+        // same intervals at several receivers is harmless.
+        collided.push((f.start, f.end));
+        for &ti in interferers.iter() {
+            let t = &self.transmissions[ti];
+            collided.push((t.start, t.end));
+        }
+
+        // Capture can only rescue a synchronized control-frame
         // pile-up: every frame involved must be a control frame occupying
         // exactly the same slots as `f`.
         let synchronized = f.frame.kind.is_control()

@@ -22,6 +22,8 @@ use crate::topology::Topology;
 use crate::trace::{EventSink, Trace, TraceEvent};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use rmm_stats::{Phase, ProfileReport, Profiler};
+use std::time::Instant;
 
 /// Per-call context handed to stations.
 pub struct Ctx<'a> {
@@ -109,6 +111,11 @@ pub struct Engine {
     /// reached the air (`None` = never). Liveness diagnostics for the
     /// workload watchdog; muted/crashed sends do not count.
     last_tx: Vec<Option<Slot>>,
+    /// Phase-timer profiler, if enabled. Behind a box so the disabled
+    /// case costs one null check per phase boundary. Profiling is a pure
+    /// observer — it never draws from the RNG or touches dynamics, so
+    /// profiled and unprofiled runs are bit-identical.
+    prof: Option<Box<Profiler>>,
 }
 
 impl Engine {
@@ -128,6 +135,69 @@ impl Engine {
             slots_skipped: 0,
             faults: FaultPlan::default(),
             last_tx: vec![None; n],
+            prof: None,
+        }
+    }
+
+    /// Slot-sampling stride used by [`Engine::enable_profiling`]: one
+    /// slot in four is timed (calls are counted on every slot). Chosen
+    /// so profiling a saturated network costs well under the CI gate's
+    /// 5% while the per-phase fractions still average over thousands of
+    /// timed slots.
+    pub const PROFILE_STRIDE: u64 = 4;
+
+    /// Enables phase-timer profiling (disabled by default) at
+    /// [`Engine::PROFILE_STRIDE`]. On timed slots each engine phase is
+    /// lapped with chained monotonic-clock reads — one `Instant::now()`
+    /// per phase boundary — on the rest only call counts advance;
+    /// reported nanoseconds are stride-scaled whole-run estimates
+    /// accumulated into a [`ProfileReport`].
+    pub fn enable_profiling(&mut self) {
+        self.enable_profiling_stride(Self::PROFILE_STRIDE);
+    }
+
+    /// Enables phase-timer profiling timing every `stride`-th slot
+    /// (stride 1 = time everything, exact totals, highest overhead).
+    pub fn enable_profiling_stride(&mut self, stride: u64) {
+        self.prof = Some(Box::new(Profiler::with_stride(stride)));
+    }
+
+    /// Snapshot of the accumulated phase attribution, if profiling is
+    /// enabled.
+    pub fn profile(&self) -> Option<ProfileReport> {
+        self.prof.as_ref().map(|p| p.report())
+    }
+
+    /// Takes the accumulated profile, leaving profiling disabled.
+    pub fn take_profile(&mut self) -> Option<ProfileReport> {
+        self.prof.take().map(|p| p.report())
+    }
+
+    /// Starts one profiled unit: registers it with the sampler and
+    /// returns the armed mark if this unit is timed. `None` either
+    /// means profiling is off or this unit is merely call-counted.
+    #[inline]
+    fn begin_profiled_unit(&mut self) -> Option<Instant> {
+        self.prof
+            .as_deref_mut()
+            .is_some_and(|prof| prof.begin_unit())
+            .then(Instant::now)
+    }
+
+    /// Records the time since `*mark` to `phase` and re-arms the mark;
+    /// on unsampled units only the call count advances. No-op (one
+    /// branch) when profiling is off.
+    #[inline]
+    fn lap(&mut self, mark: &mut Option<Instant>, phase: Phase) {
+        if let Some(prof) = self.prof.as_deref_mut() {
+            match mark {
+                Some(m) => {
+                    let now = Instant::now();
+                    prof.record(phase, now.duration_since(*m).as_nanos() as u64);
+                    *m = now;
+                }
+                None => prof.record_call(phase),
+            }
         }
     }
 
@@ -209,10 +279,12 @@ impl Engine {
     pub fn step<S: Station>(&mut self, stations: &mut [S]) {
         debug_assert_eq!(stations.len(), self.topo.len());
         let now = self.now;
+        let mut mark = self.begin_profiled_unit();
 
         // Carrier sense for the whole slot, computed once: phases 1 and 2
         // both read the same per-node predicate for the same slot.
         self.channel.busy_map(now, &self.topo, &mut self.busy_map);
+        self.lap(&mut mark, Phase::CarrierSense);
 
         // Phase 1: resolve frames ending now and deliver them.
         self.channel
@@ -247,6 +319,7 @@ impl Engine {
         }
         self.channel.count_collisions(self.outcome.collisions.len());
         self.channel.frame_errors_total += self.outcome.frame_errors.len() as u64;
+        self.lap(&mut mark, Phase::Resolve);
         for rec in &self.outcome.receptions {
             let node = rec.receiver;
             let mut ctx = Ctx {
@@ -258,6 +331,7 @@ impl Engine {
             };
             stations[node.index()].on_receive(&rec.frame, rec.captured, &mut ctx);
         }
+        self.lap(&mut mark, Phase::Deliver);
 
         // Phase 2: per-slot decisions.
         for (i, station) in stations.iter_mut().enumerate() {
@@ -271,6 +345,7 @@ impl Engine {
             };
             station.on_slot(&mut ctx);
         }
+        self.lap(&mut mark, Phase::FsmDispatch);
 
         // Phase 3: new transmissions go on the air. Fault injection, tx
         // side: frames from crashed/muted stations are dropped before
@@ -291,6 +366,7 @@ impl Engine {
             self.channel.busy_slots += 1;
         }
         self.channel.prune(now);
+        self.lap(&mut mark, Phase::TxLaunch);
         self.now = now + 1;
     }
 
@@ -322,6 +398,7 @@ impl Engine {
                 continue;
             }
             // Hints are relative to the slot the stations last saw.
+            let mut mark = self.begin_profiled_unit();
             let prev = self.now - 1;
             let mut horizon = target;
             for station in stations.iter() {
@@ -334,6 +411,7 @@ impl Engine {
                     break;
                 }
             }
+            self.lap(&mut mark, Phase::HorizonScan);
             self.slots_skipped += horizon - self.now;
             self.now = horizon;
         }
@@ -656,5 +734,76 @@ mod tests {
         assert_eq!(eng.now(), 0);
         eng.run(&mut st, 10);
         assert_eq!(eng.now(), 10);
+    }
+
+    #[test]
+    fn profiling_attributes_time_without_changing_the_run() {
+        let mk = || {
+            vec![
+                Scripted {
+                    plan: vec![(0, rts(0, 1)), (5, rts(0, 1))],
+                    ..Default::default()
+                },
+                Scripted::default(),
+            ]
+        };
+        let mut plain = Engine::new(pair_topo(), Capture::None, 1);
+        let mut st_plain = mk();
+        plain.run(&mut st_plain, 10);
+
+        let mut profiled = Engine::new(pair_topo(), Capture::None, 1);
+        profiled.enable_profiling();
+        let mut st_prof = mk();
+        profiled.run_fast(&mut st_prof, 10);
+
+        assert_eq!(st_plain[1].heard, st_prof[1].heard);
+        assert_eq!(st_plain[1].busy_log, st_prof[1].busy_log);
+        let report = profiled.take_profile().expect("profiling was enabled");
+        for name in [
+            "carrier_sense",
+            "resolve",
+            "deliver",
+            "fsm_dispatch",
+            "tx_launch",
+        ] {
+            let p = report.phase(name).unwrap();
+            assert_eq!(p.calls, 10, "{name} laps once per stepped slot");
+        }
+        assert!(
+            profiled.profile().is_none(),
+            "take_profile disables profiling"
+        );
+        assert!(plain.profile().is_none());
+    }
+
+    #[test]
+    fn ledger_busy_slots_match_channel_counter() {
+        let mut eng = Engine::new(pair_topo(), Capture::None, 1);
+        let data = Frame::data(
+            NodeId(0),
+            Dest::Node(NodeId(1)),
+            0,
+            MsgId::new(NodeId(0), 0),
+            5,
+        );
+        let mut st = vec![
+            Scripted {
+                plan: vec![(0, rts(0, 1)), (3, data)],
+                ..Default::default()
+            },
+            Scripted {
+                plan: vec![(10, rts(1, 0))],
+                ..Default::default()
+            },
+        ];
+        eng.run(&mut st, 12);
+        let b = eng.channel().ledger().breakdown(eng.now());
+        assert_eq!(b.busy_slots(), eng.channel().busy_slots);
+        assert_eq!(
+            b.idle_slots + b.data_slots + b.control_slots + b.collision_slots,
+            12
+        );
+        assert_eq!(b.by_kind.rts, 2);
+        assert_eq!(b.by_kind.data, 5);
     }
 }

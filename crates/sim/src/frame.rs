@@ -31,10 +31,35 @@ pub enum FrameKind {
 }
 
 impl FrameKind {
+    /// Every frame kind, in declaration order (indexable via
+    /// [`FrameKind::index`]).
+    pub const ALL: [FrameKind; 6] = [
+        FrameKind::Rts,
+        FrameKind::Cts,
+        FrameKind::Data,
+        FrameKind::Ack,
+        FrameKind::Rak,
+        FrameKind::Nak,
+    ];
+
     /// Whether this is a control frame (everything except `Data`).
     #[inline]
     pub fn is_control(self) -> bool {
         !matches!(self, FrameKind::Data)
+    }
+
+    /// Position of this kind in [`FrameKind::ALL`] — a dense index for
+    /// per-kind accounting arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            FrameKind::Rts => 0,
+            FrameKind::Cts => 1,
+            FrameKind::Data => 2,
+            FrameKind::Ack => 3,
+            FrameKind::Rak => 4,
+            FrameKind::Nak => 5,
+        }
     }
 }
 

@@ -1,0 +1,299 @@
+//! Per-slot channel airtime ledger.
+//!
+//! The [`Channel`](crate::Channel) stamps every transmission and every
+//! collision into an [`AirtimeLedger`] as the run executes, so afterwards
+//! each slot of the run can be classified exactly one way:
+//!
+//! * **idle** — no transmission occupied the slot,
+//! * **collision** — at least one frame occupying the slot was destroyed
+//!   by overlap at some receiver,
+//! * **data** — a DATA frame occupied the slot and nothing collided,
+//! * **control** — only control frames (RTS/CTS/ACK/RAK/NAK) occupied
+//!   the slot, collision-free.
+//!
+//! The classification partitions the run (`idle + data + control +
+//! collision == total_slots`, property-tested across every protocol),
+//! which makes [`AirtimeBreakdown`] the single source of truth for the
+//! paper's utilization/overhead axis: goodput airtime vs. the control
+//! overhead each reliable-multicast scheme pays for it.
+//!
+//! Recording is a pure observation of what the channel already decided —
+//! it draws no randomness and never perturbs dynamics, so enabling or
+//! consulting the ledger cannot change a run.
+
+use crate::frame::FrameKind;
+use crate::ids::Slot;
+use serde::{Deserialize, Serialize};
+
+const CONTROL: u8 = 1;
+const DATA: u8 = 2;
+const COLLIDED: u8 = 4;
+
+/// Accumulates per-slot occupancy flags and per-kind airtime while a run
+/// executes. Owned by the [`Channel`](crate::Channel).
+#[derive(Debug, Clone, Default)]
+pub struct AirtimeLedger {
+    /// One flag byte per absolute slot, grown on demand.
+    flags: Vec<u8>,
+    /// Total airtime (slots) transmitted per frame kind, indexed by
+    /// [`FrameKind::index`]. Counts every frame's full airtime, even
+    /// slots past the end of the run.
+    kind_slots: [u64; 6],
+}
+
+impl AirtimeLedger {
+    /// A fresh, empty ledger.
+    pub fn new() -> Self {
+        AirtimeLedger::default()
+    }
+
+    #[inline]
+    fn flag_range(&mut self, start: Slot, end: Slot, bit: u8) {
+        let (start, end) = (start as usize, end as usize);
+        if self.flags.len() < end {
+            self.flags.resize(end, 0);
+        }
+        for f in &mut self.flags[start..end] {
+            *f |= bit;
+        }
+    }
+
+    /// Records a transmission of `kind` occupying slots `[start, end)`.
+    pub fn mark_tx(&mut self, kind: FrameKind, start: Slot, end: Slot) {
+        self.kind_slots[kind.index()] += end - start;
+        self.flag_range(start, end, if kind.is_control() { CONTROL } else { DATA });
+    }
+
+    /// Records that a frame occupying `[start, end)` was involved in a
+    /// collision at some receiver. Idempotent — re-marking the same
+    /// interval (the same frame colliding at several receivers, or both
+    /// parties of a pile-up) changes nothing.
+    pub fn mark_collided(&mut self, start: Slot, end: Slot) {
+        self.flag_range(start, end, COLLIDED);
+    }
+
+    /// Total airtime transmitted per frame kind, in [`FrameKind::ALL`]
+    /// order. Unclamped: a frame still on the air when the run ends
+    /// contributes its full length.
+    pub fn kind_slots(&self) -> [u64; 6] {
+        self.kind_slots
+    }
+
+    /// Classifies the first `total_slots` slots of the run. Slots flagged
+    /// beyond `total_slots` (frames cut off by the end of the run) are
+    /// ignored so the partition always sums to `total_slots`.
+    pub fn breakdown(&self, total_slots: Slot) -> AirtimeBreakdown {
+        let mut b = AirtimeBreakdown {
+            total_slots,
+            by_kind: AirtimeByKind {
+                rts: self.kind_slots[FrameKind::Rts.index()],
+                cts: self.kind_slots[FrameKind::Cts.index()],
+                data: self.kind_slots[FrameKind::Data.index()],
+                ack: self.kind_slots[FrameKind::Ack.index()],
+                rak: self.kind_slots[FrameKind::Rak.index()],
+                nak: self.kind_slots[FrameKind::Nak.index()],
+            },
+            ..AirtimeBreakdown::default()
+        };
+        let horizon = (total_slots as usize).min(self.flags.len());
+        for &f in &self.flags[..horizon] {
+            if f == 0 {
+                b.idle_slots += 1;
+            } else if f & COLLIDED != 0 {
+                b.collision_slots += 1;
+            } else if f & DATA != 0 {
+                b.data_slots += 1;
+            } else {
+                b.control_slots += 1;
+            }
+        }
+        // Slots past the flagged range are idle by definition.
+        b.idle_slots += total_slots - horizon as Slot;
+        b
+    }
+}
+
+/// Per-kind transmitted airtime, in slots (unclamped — includes airtime
+/// past the end of the run for frames cut off by it).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AirtimeByKind {
+    /// RTS airtime.
+    pub rts: u64,
+    /// CTS airtime.
+    pub cts: u64,
+    /// DATA airtime.
+    pub data: u64,
+    /// ACK airtime.
+    pub ack: u64,
+    /// RAK airtime.
+    pub rak: u64,
+    /// NAK airtime.
+    pub nak: u64,
+}
+
+impl AirtimeByKind {
+    /// Control airtime: everything except DATA.
+    pub fn control(&self) -> u64 {
+        self.rts + self.cts + self.ack + self.rak + self.nak
+    }
+
+    /// Total transmitted airtime across all kinds.
+    pub fn total(&self) -> u64 {
+        self.control() + self.data
+    }
+}
+
+/// Exact per-slot classification of one run's channel time.
+///
+/// `idle_slots + data_slots + control_slots + collision_slots` always
+/// equals `total_slots`; `data_slots + control_slots + collision_slots`
+/// equals the channel's `busy_slots` counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AirtimeBreakdown {
+    /// Slots the run simulated.
+    pub total_slots: Slot,
+    /// Slots with nothing on the air anywhere in the network.
+    pub idle_slots: u64,
+    /// Collision-free slots occupied by at least one DATA frame.
+    pub data_slots: u64,
+    /// Collision-free slots occupied only by control frames.
+    pub control_slots: u64,
+    /// Slots occupied by at least one frame that a collision destroyed.
+    pub collision_slots: u64,
+    /// Transmitted airtime per frame kind (unclamped).
+    pub by_kind: AirtimeByKind,
+}
+
+impl AirtimeBreakdown {
+    /// Slots with anything on the air: the complement of idle.
+    pub fn busy_slots(&self) -> u64 {
+        self.data_slots + self.control_slots + self.collision_slots
+    }
+
+    /// Fraction of the run carrying collision-free DATA airtime — the
+    /// goodput side of the paper's overhead comparison.
+    pub fn utilization(&self) -> f64 {
+        if self.total_slots == 0 {
+            return 0.0;
+        }
+        self.data_slots as f64 / self.total_slots as f64
+    }
+
+    /// Fraction of *busy* airtime spent on collision-free control frames
+    /// (RTS/CTS/RAK/poll/ACK trains) — the protocol's overhead price.
+    pub fn control_overhead_fraction(&self) -> f64 {
+        let busy = self.busy_slots();
+        if busy == 0 {
+            return 0.0;
+        }
+        self.control_slots as f64 / busy as f64
+    }
+
+    /// Fraction of busy airtime destroyed by collisions.
+    pub fn collision_fraction(&self) -> f64 {
+        let busy = self.busy_slots();
+        if busy == 0 {
+            return 0.0;
+        }
+        self.collision_slots as f64 / busy as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_is_exact() {
+        let mut l = AirtimeLedger::new();
+        l.mark_tx(FrameKind::Rts, 0, 1);
+        l.mark_tx(FrameKind::Data, 3, 8);
+        l.mark_tx(FrameKind::Ack, 9, 10);
+        l.mark_collided(9, 10);
+        let b = l.breakdown(20);
+        assert_eq!(b.total_slots, 20);
+        assert_eq!(b.control_slots, 1);
+        assert_eq!(b.data_slots, 5);
+        assert_eq!(b.collision_slots, 1);
+        assert_eq!(b.idle_slots, 13);
+        assert_eq!(
+            b.idle_slots + b.data_slots + b.control_slots + b.collision_slots,
+            b.total_slots
+        );
+        assert_eq!(b.busy_slots(), 7);
+    }
+
+    #[test]
+    fn collision_outranks_data_outranks_control() {
+        let mut l = AirtimeLedger::new();
+        // Control and data share slot 2 (spatial reuse, no collision).
+        l.mark_tx(FrameKind::Cts, 2, 3);
+        l.mark_tx(FrameKind::Data, 0, 5);
+        // Slot 4 additionally carries a collided frame.
+        l.mark_collided(4, 5);
+        let b = l.breakdown(5);
+        assert_eq!(b.data_slots, 4, "data wins the shared slot");
+        assert_eq!(b.control_slots, 0);
+        assert_eq!(b.collision_slots, 1);
+        assert_eq!(b.idle_slots, 0);
+    }
+
+    #[test]
+    fn breakdown_clamps_to_run_end_but_kind_slots_do_not() {
+        let mut l = AirtimeLedger::new();
+        l.mark_tx(FrameKind::Data, 8, 13); // runs past the 10-slot run
+        let b = l.breakdown(10);
+        assert_eq!(b.data_slots, 2);
+        assert_eq!(b.idle_slots, 8);
+        assert_eq!(b.by_kind.data, 5, "per-kind airtime stays unclamped");
+        assert_eq!(b.by_kind.total(), 5);
+    }
+
+    #[test]
+    fn mark_collided_is_idempotent() {
+        let mut l = AirtimeLedger::new();
+        l.mark_tx(FrameKind::Rts, 0, 1);
+        l.mark_collided(0, 1);
+        l.mark_collided(0, 1);
+        let b = l.breakdown(1);
+        assert_eq!(b.collision_slots, 1);
+        assert_eq!(b.busy_slots(), 1);
+    }
+
+    #[test]
+    fn empty_ledger_is_all_idle() {
+        let b = AirtimeLedger::new().breakdown(7);
+        assert_eq!(b.idle_slots, 7);
+        assert_eq!(b.busy_slots(), 0);
+        assert_eq!(b.utilization(), 0.0);
+        assert_eq!(b.control_overhead_fraction(), 0.0);
+        assert_eq!(b.collision_fraction(), 0.0);
+    }
+
+    #[test]
+    fn fractions_reference_the_right_denominators() {
+        let mut l = AirtimeLedger::new();
+        l.mark_tx(FrameKind::Data, 0, 5);
+        l.mark_tx(FrameKind::Rts, 6, 7);
+        l.mark_tx(FrameKind::Cts, 8, 9);
+        l.mark_tx(FrameKind::Rts, 9, 10);
+        l.mark_collided(9, 10);
+        let b = l.breakdown(10);
+        // busy = 5 data + 2 control + 1 collision = 8.
+        assert!((b.utilization() - 0.5).abs() < 1e-12);
+        assert!((b.control_overhead_fraction() - 2.0 / 8.0).abs() < 1e-12);
+        assert!((b.collision_fraction() - 1.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn breakdown_round_trips_through_json() {
+        let mut l = AirtimeLedger::new();
+        l.mark_tx(FrameKind::Rak, 0, 1);
+        let b = l.breakdown(4);
+        let json = serde_json::to_string(&b).unwrap();
+        let back: AirtimeBreakdown = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, b);
+        assert_eq!(back.by_kind.rak, 1);
+        assert_eq!(back.by_kind.control(), 1);
+    }
+}

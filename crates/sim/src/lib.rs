@@ -29,6 +29,7 @@ pub mod engine;
 pub mod fault;
 pub mod frame;
 pub mod ids;
+pub mod ledger;
 pub mod topology;
 pub mod trace;
 pub mod wire;
@@ -39,6 +40,7 @@ pub use engine::{Ctx, Engine, Station};
 pub use fault::{BurstChain, FaultKind, FaultPlan, GilbertElliott, NodeFault};
 pub use frame::{Dest, Frame, FrameInfo, FrameKind};
 pub use ids::{MsgId, NodeId, Slot};
+pub use ledger::{AirtimeBreakdown, AirtimeByKind, AirtimeLedger};
 pub use topology::Topology;
 pub use trace::{airtime_by_kind, max_idle_gap, tx_intervals_of, EventSink, Trace, TraceEvent};
 pub use wire::{

@@ -366,14 +366,27 @@ impl Trace {
 
 /// Airtime occupied by transmissions in `events`, broken down by frame
 /// kind (slots).
+///
+/// Implemented by replaying the trace's `TxStart` events into an
+/// [`AirtimeLedger`](crate::AirtimeLedger), so the trace-derived view
+/// and the channel's live ledger share one accounting definition. Kinds
+/// with no airtime are omitted from the map.
 pub fn airtime_by_kind(events: &[TraceEvent]) -> std::collections::HashMap<FrameKind, u64> {
-    let mut out = std::collections::HashMap::new();
+    let mut ledger = crate::AirtimeLedger::new();
     for ev in events {
-        if let TraceEvent::TxStart { kind, slots, .. } = ev {
-            *out.entry(*kind).or_insert(0) += u64::from(*slots);
+        if let TraceEvent::TxStart {
+            slot, kind, slots, ..
+        } = ev
+        {
+            ledger.mark_tx(*kind, *slot, slot + Slot::from(*slots));
         }
     }
-    out
+    let per_kind = ledger.kind_slots();
+    FrameKind::ALL
+        .iter()
+        .filter(|k| per_kind[k.index()] > 0)
+        .map(|&k| (k, per_kind[k.index()]))
+        .collect()
 }
 
 /// The transmissions of one station within `[from, to)`, as

@@ -5,7 +5,7 @@ use proptest::prelude::*;
 use rmm_geom::Point;
 use rmm_sim::{
     crc32, decode_frame, encode_frame, Capture, Ctx, Dest, Engine, Frame, FrameKind, MsgId, NodeId,
-    Slot, Station, Topology, TraceEvent, WireError,
+    Slot, Station, Topology, Trace, TraceEvent, WireError,
 };
 
 fn arb_kind() -> impl Strategy<Value = FrameKind> {
@@ -80,6 +80,175 @@ proptest! {
             flipped[0] ^= 0x01;
             prop_assert_ne!(c, crc32(&flipped));
         }
+    }
+}
+
+fn arb_node() -> impl Strategy<Value = NodeId> {
+    (0u32..64).prop_map(NodeId)
+}
+
+fn arb_msg() -> impl Strategy<Value = MsgId> {
+    (0u32..64, 0u32..1000).prop_map(|(n, s)| MsgId::new(NodeId(n), s))
+}
+
+fn arb_nodes() -> impl Strategy<Value = Vec<NodeId>> {
+    prop::collection::vec(arb_node(), 0..6)
+}
+
+/// Every [`TraceEvent`] variant with arbitrary payloads, covering the
+/// optional and vector-valued fields the JSONL codec must preserve.
+fn arb_event() -> impl Strategy<Value = TraceEvent> {
+    let slot = || 0u64..10_000;
+    prop_oneof![
+        (
+            slot(),
+            arb_node(),
+            arb_kind(),
+            prop::bool::ANY,
+            arb_node(),
+            1u32..40
+        )
+            .prop_map(
+                |(slot, node, kind, unicast, dest, slots)| TraceEvent::TxStart {
+                    slot,
+                    node,
+                    kind,
+                    dest: unicast.then_some(dest),
+                    msg: MsgId::new(node, slots),
+                    slots,
+                }
+            ),
+        (slot(), arb_node(), arb_node(), arb_kind(), prop::bool::ANY).prop_map(
+            |(slot, node, from, kind, captured)| TraceEvent::RxOk {
+                slot,
+                node,
+                from,
+                kind,
+                captured,
+            }
+        ),
+        (slot(), arb_node(), arb_nodes()).prop_map(|(slot, node, senders)| {
+            TraceEvent::Collision {
+                slot,
+                node,
+                senders,
+            }
+        }),
+        (slot(), arb_node(), arb_msg(), 1u32..8, 0u32..32).prop_map(
+            |(slot, node, msg, attempts, backoff_slots)| TraceEvent::ContentionStart {
+                slot,
+                node,
+                msg,
+                attempts,
+                backoff_slots,
+            }
+        ),
+        (slot(), arb_node(), arb_msg(), 1u32..8).prop_map(|(slot, node, msg, attempts)| {
+            TraceEvent::ContentionEnd {
+                slot,
+                node,
+                msg,
+                attempts,
+            }
+        }),
+        (slot(), arb_node(), arb_msg(), 1u32..8, arb_nodes()).prop_map(
+            |(slot, node, msg, round, batch)| TraceEvent::BatchStart {
+                slot,
+                node,
+                msg,
+                round,
+                batch,
+            }
+        ),
+        (
+            slot(),
+            arb_node(),
+            arb_msg(),
+            1u32..8,
+            arb_nodes(),
+            arb_nodes()
+        )
+            .prop_map(
+                |(slot, node, msg, round, batch, acked)| TraceEvent::BatchEnd {
+                    slot,
+                    node,
+                    msg,
+                    round,
+                    batch,
+                    acked,
+                }
+            ),
+        (slot(), arb_node(), arb_msg(), arb_kind(), arb_node()).prop_map(
+            |(slot, node, msg, kind, target)| TraceEvent::PollSent {
+                slot,
+                node,
+                msg,
+                kind,
+                target,
+            }
+        ),
+        (slot(), arb_node(), arb_msg(), arb_node()).prop_map(|(slot, node, msg, target)| {
+            TraceEvent::AckMissed {
+                slot,
+                node,
+                msg,
+                target,
+            }
+        }),
+        (slot(), arb_node(), arb_msg(), arb_nodes(), arb_nodes()).prop_map(
+            |(slot, node, msg, full, cover)| TraceEvent::CoverSetComputed {
+                slot,
+                node,
+                msg,
+                full,
+                cover,
+            }
+        ),
+        (slot(), arb_node(), arb_msg(), 1u32..8).prop_map(|(slot, node, msg, round)| {
+            TraceEvent::Retry {
+                slot,
+                node,
+                msg,
+                round,
+            }
+        }),
+        (slot(), arb_node(), arb_msg(), arb_node(), 0u32..8).prop_map(
+            |(slot, node, msg, dst, after_retries)| TraceEvent::GiveUp {
+                slot,
+                node,
+                msg,
+                dst,
+                after_retries,
+            }
+        ),
+        (slot(), arb_node(), arb_msg(), 0u64..20_000).prop_map(|(slot, node, msg, until)| {
+            TraceEvent::NavDefer {
+                slot,
+                node,
+                msg,
+                until,
+            }
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any event stream survives the JSONL export/import round trip
+    /// bit-for-bit (the contract `rmm trace` and the profiling export
+    /// both rely on).
+    #[test]
+    fn trace_jsonl_roundtrip(events in prop::collection::vec(arb_event(), 0..40)) {
+        let mut trace = Trace::new();
+        for ev in &events {
+            trace.push(ev.clone());
+        }
+        let jsonl = trace.to_jsonl();
+        let back = Trace::from_jsonl(&jsonl).expect("exported trace parses");
+        prop_assert_eq!(back.events(), trace.events());
+        // A second round trip is a fixpoint.
+        prop_assert_eq!(back.to_jsonl(), jsonl);
     }
 }
 

@@ -19,6 +19,8 @@
 pub mod hist;
 pub mod merge;
 pub mod metrics;
+pub mod prof;
+pub mod prom;
 pub mod registry;
 pub mod summary;
 pub mod table;
@@ -26,6 +28,8 @@ pub mod table;
 pub use hist::{percentile, Histogram};
 pub use merge::RunMetricsMerge;
 pub use metrics::{MessageMetric, RunMetrics};
+pub use prof::{Phase, PhaseStat, ProfileReport, Profiler};
+pub use prom::{render_profile, render_registry};
 pub use registry::{MetricsRegistry, NamedCounter, NamedHistogram};
 pub use summary::Summary;
 pub use table::{write_csv, Table};

@@ -1,0 +1,137 @@
+//! Prometheus text-exposition rendering for the registry and profiler.
+//!
+//! Emits the [text-based exposition format] so snapshots can be scraped
+//! or diffed directly. Histograms render as cumulative `_bucket` series
+//! plus `_count`; we deliberately omit the conventional `_sum` series —
+//! the registry keeps histograms integer-exact so parallel merges are
+//! order-independent, and a float sum would break that contract.
+//!
+//! [text-based exposition format]:
+//! https://prometheus.io/docs/instrumenting/exposition_formats/
+
+use crate::prof::ProfileReport;
+use crate::registry::MetricsRegistry;
+use std::fmt::Write as _;
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+/// Formats a bucket upper bound the way Prometheus expects (`+Inf` for
+/// the overflow bucket, shortest-round-trip decimals otherwise).
+fn le(bound: f64) -> String {
+    if bound.is_infinite() {
+        "+Inf".to_string()
+    } else {
+        format!("{bound}")
+    }
+}
+
+/// Renders every counter and histogram of `reg` in Prometheus text
+/// exposition format, each metric name prefixed with `prefix_`.
+pub fn render_registry(reg: &MetricsRegistry, prefix: &str) -> String {
+    let mut out = String::new();
+    let prefix = sanitize(prefix);
+    for c in reg.counters() {
+        let name = format!("{prefix}_{}", sanitize(&c.name));
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {}", c.value);
+    }
+    for h in reg.histograms() {
+        let name = format!("{prefix}_{}", sanitize(&h.name));
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let hist = &h.histogram;
+        let (underflow, overflow) = hist.out_of_range();
+        let mut cumulative: u64 = underflow;
+        for (i, &count) in hist.bins().iter().enumerate() {
+            cumulative += count;
+            let _ = writeln!(
+                out,
+                "{name}_bucket{{le=\"{}\"}} {cumulative}",
+                le(hist.bin_lo(i + 1))
+            );
+        }
+        cumulative += overflow;
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+        let _ = writeln!(out, "{name}_count {}", hist.count());
+    }
+    out
+}
+
+/// Renders a [`ProfileReport`] as two counter families,
+/// `<prefix>_phase_ns{phase="..."}` and `<prefix>_phase_calls{phase="..."}`,
+/// plus a `<prefix>_total_ns` counter.
+pub fn render_profile(report: &ProfileReport, prefix: &str) -> String {
+    let mut out = String::new();
+    let prefix = sanitize(prefix);
+    let _ = writeln!(out, "# TYPE {prefix}_phase_ns counter");
+    for p in &report.phases {
+        let _ = writeln!(out, "{prefix}_phase_ns{{phase=\"{}\"}} {}", p.name, p.ns);
+    }
+    let _ = writeln!(out, "# TYPE {prefix}_phase_calls counter");
+    for p in &report.phases {
+        let _ = writeln!(
+            out,
+            "{prefix}_phase_calls{{phase=\"{}\"}} {}",
+            p.name, p.calls
+        );
+    }
+    let _ = writeln!(out, "# TYPE {prefix}_total_ns counter");
+    let _ = writeln!(out, "{prefix}_total_ns {}", report.total_ns);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prof::{Phase, Profiler};
+
+    #[test]
+    fn counters_render_with_type_lines() {
+        let mut reg = MetricsRegistry::new();
+        reg.add("tx_frames", 42);
+        let text = render_registry(&reg, "rmm");
+        assert!(text.contains("# TYPE rmm_tx_frames counter"));
+        assert!(text.contains("rmm_tx_frames 42"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_end_at_inf() {
+        let mut reg = MetricsRegistry::new();
+        let h = reg.histogram_mut("gap", 0.0, 4.0, 4);
+        h.record(0.5); // bin 0
+        h.record(2.5); // bin 2
+        h.record(99.0); // overflow
+        let text = render_registry(&reg, "rmm");
+        assert!(text.contains("# TYPE rmm_gap histogram"));
+        assert!(text.contains("rmm_gap_bucket{le=\"1\"} 1"));
+        assert!(text.contains("rmm_gap_bucket{le=\"3\"} 2"));
+        assert!(text.contains("rmm_gap_bucket{le=\"4\"} 2"));
+        assert!(text.contains("rmm_gap_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("rmm_gap_count 3"));
+        // No float sum: the registry's merge contract is integer-exact.
+        assert!(!text.contains("rmm_gap_sum"));
+    }
+
+    #[test]
+    fn profile_renders_all_phases() {
+        let mut prof = Profiler::new();
+        prof.record(Phase::Resolve, 120);
+        prof.record(Phase::FsmDispatch, 80);
+        let text = render_profile(&prof.report(), "rmm_engine");
+        assert!(text.contains("rmm_engine_phase_ns{phase=\"resolve\"} 120"));
+        assert!(text.contains("rmm_engine_phase_calls{phase=\"fsm_dispatch\"} 1"));
+        assert!(text.contains("rmm_engine_phase_ns{phase=\"tx_launch\"} 0"));
+        assert!(text.contains("rmm_engine_total_ns 200"));
+    }
+
+    #[test]
+    fn names_are_sanitized() {
+        let mut reg = MetricsRegistry::new();
+        reg.inc("weird-name.x");
+        let text = render_registry(&reg, "p");
+        assert!(text.contains("p_weird_name_x 1"));
+    }
+}

@@ -27,11 +27,14 @@ pub mod scenario;
 pub mod traffic;
 
 pub use mobility::{MobilityConfig, RandomWaypoint};
-pub use observe::{collect_metrics, PhaseTimings, RunManifest};
+pub use observe::{
+    collect_dwell, collect_metrics, DwellReport, PhaseTimings, RunManifest, StationDwell,
+};
 pub use placement::uniform_square;
 pub use runner::{
     mean_group_metrics, run_many, run_many_jobs, run_many_seeded, run_mobile, run_mobile_naive,
-    run_one, run_one_naive, run_one_traced, run_one_traced_naive, RunResult, StallReport,
+    run_one, run_one_naive, run_one_profiled, run_one_profiled_traced, run_one_traced,
+    run_one_traced_naive, RunResult, StallReport,
 };
 pub use scenario::Scenario;
 pub use traffic::{TrafficGen, TrafficMix};

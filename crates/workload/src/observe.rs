@@ -3,8 +3,8 @@
 
 use crate::scenario::Scenario;
 use rmm_mac::ProtocolKind;
-use rmm_sim::{FrameKind, Slot, TraceEvent};
-use rmm_stats::MetricsRegistry;
+use rmm_sim::{FrameKind, NodeId, Slot, TraceEvent};
+use rmm_stats::{Histogram, MetricsRegistry};
 use serde::{Deserialize, Serialize};
 
 /// Wall-clock spent in each phase of one run, in microseconds.
@@ -113,6 +113,170 @@ pub fn collect_metrics(
     reg
 }
 
+/// Per-station totals of slots spent in each FSM dwell state.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StationDwell {
+    /// Slots spent contending for the medium (ContentionStart →
+    /// ContentionEnd), including DIFS waits and backoff countdowns.
+    pub contention_slots: u64,
+    /// Slots spent inside poll trains / batch service (BatchStart →
+    /// BatchEnd).
+    pub batch_slots: u64,
+    /// Slots spent waiting for an ACK after a RAK poll (PollSent(RAK) →
+    /// the ACK's arrival, or the AckMissed verdict).
+    pub ack_wait_slots: u64,
+    /// Backoff slots drawn across all contention attempts.
+    pub backoff_slots: u64,
+}
+
+/// Per-station FSM dwell-time attribution derived from an event trace:
+/// where each sender's slots went while serving messages. Makes
+/// busy-network slowness attributable — e.g. BMW's repeated contention
+/// phases show up as contention dwell, BMMM's serialized RAK/ACK trains
+/// as ack-wait dwell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DwellReport {
+    /// Totals per station, indexed by `NodeId`.
+    pub stations: Vec<StationDwell>,
+    /// Distribution of single contention-episode lengths (slots),
+    /// network-wide.
+    pub contention: Histogram,
+    /// Distribution of single batch/poll-train lengths (slots).
+    pub batch: Histogram,
+    /// Distribution of single RAK→ACK waits (slots).
+    pub ack_wait: Histogram,
+    /// Distribution of per-attempt backoff draws (slots).
+    pub backoff: Histogram,
+}
+
+impl DwellReport {
+    /// Network-wide totals, summed over stations.
+    pub fn network_totals(&self) -> StationDwell {
+        let mut sum = StationDwell::default();
+        for s in &self.stations {
+            sum.contention_slots += s.contention_slots;
+            sum.batch_slots += s.batch_slots;
+            sum.ack_wait_slots += s.ack_wait_slots;
+            sum.backoff_slots += s.backoff_slots;
+        }
+        sum
+    }
+
+    /// Exports the report as a metrics registry: `dwell_*_slots`
+    /// counters for the network totals plus the four episode-length
+    /// histograms, ready for Prometheus rendering or exact cross-run
+    /// merging.
+    pub fn to_registry(&self) -> MetricsRegistry {
+        fn put(reg: &mut MetricsRegistry, name: &str, h: &Histogram) {
+            let n = h.bins().len();
+            reg.histogram_mut(name, h.bin_lo(0), h.bin_lo(n), n)
+                .merge(h);
+        }
+        let mut reg = MetricsRegistry::new();
+        let t = self.network_totals();
+        reg.add("dwell_contention_slots", t.contention_slots);
+        reg.add("dwell_batch_slots", t.batch_slots);
+        reg.add("dwell_ack_wait_slots", t.ack_wait_slots);
+        reg.add("dwell_backoff_slots", t.backoff_slots);
+        put(&mut reg, "dwell_contention", &self.contention);
+        put(&mut reg, "dwell_batch", &self.batch);
+        put(&mut reg, "dwell_ack_wait", &self.ack_wait);
+        put(&mut reg, "dwell_backoff", &self.backoff);
+        reg
+    }
+}
+
+/// Derives per-station FSM dwell times from a run's event trace.
+///
+/// Episodes are matched per station: a `ContentionStart` opens a
+/// contention episode closed by the next `ContentionEnd` of the same
+/// station; `BatchStart`/`BatchEnd` likewise; a RAK `PollSent` opens an
+/// ack-wait closed by the ACK's `RxOk` at the poller (from the polled
+/// target) or by `AckMissed`. Unclosed episodes at trace end are
+/// dropped (their dwell is unknowable).
+pub fn collect_dwell(events: &[TraceEvent], n_nodes: usize) -> DwellReport {
+    let mut report = DwellReport {
+        stations: vec![StationDwell::default(); n_nodes],
+        contention: Histogram::new(0.0, 64.0, 32),
+        batch: Histogram::new(0.0, 128.0, 32),
+        ack_wait: Histogram::new(0.0, 32.0, 16),
+        backoff: Histogram::new(0.0, 16.0, 16),
+    };
+    let mut contention_open: Vec<Option<Slot>> = vec![None; n_nodes];
+    let mut batch_open: Vec<Option<Slot>> = vec![None; n_nodes];
+    // At most one outstanding RAK per poller in every protocol here.
+    let mut rak_open: Vec<Option<(Slot, NodeId)>> = vec![None; n_nodes];
+    let close = |open: &mut Option<Slot>, end: Slot| open.take().map(|s| end.saturating_sub(s));
+    for ev in events {
+        match ev {
+            TraceEvent::ContentionStart {
+                slot,
+                node,
+                backoff_slots,
+                ..
+            } if node.index() < n_nodes => {
+                contention_open[node.index()] = Some(*slot);
+                report.stations[node.index()].backoff_slots += u64::from(*backoff_slots);
+                report.backoff.record(f64::from(*backoff_slots));
+            }
+            TraceEvent::ContentionEnd { slot, node, .. } if node.index() < n_nodes => {
+                if let Some(d) = close(&mut contention_open[node.index()], *slot) {
+                    report.stations[node.index()].contention_slots += d;
+                    report.contention.record(d as f64);
+                }
+            }
+            TraceEvent::BatchStart { slot, node, .. } if node.index() < n_nodes => {
+                batch_open[node.index()] = Some(*slot);
+            }
+            TraceEvent::BatchEnd { slot, node, .. } if node.index() < n_nodes => {
+                if let Some(d) = close(&mut batch_open[node.index()], *slot) {
+                    report.stations[node.index()].batch_slots += d;
+                    report.batch.record(d as f64);
+                }
+            }
+            TraceEvent::PollSent {
+                slot,
+                node,
+                kind: FrameKind::Rak,
+                target,
+                ..
+            } if node.index() < n_nodes => {
+                rak_open[node.index()] = Some((*slot, *target));
+            }
+            TraceEvent::RxOk {
+                slot,
+                node,
+                from,
+                kind: FrameKind::Ack,
+                ..
+            } if node.index() < n_nodes => {
+                if let Some((start, target)) = rak_open[node.index()] {
+                    if target == *from {
+                        rak_open[node.index()] = None;
+                        let d = slot.saturating_sub(start);
+                        report.stations[node.index()].ack_wait_slots += d;
+                        report.ack_wait.record(d as f64);
+                    }
+                }
+            }
+            TraceEvent::AckMissed {
+                slot, node, target, ..
+            } if node.index() < n_nodes => {
+                if let Some((start, polled)) = rak_open[node.index()] {
+                    if polled == *target {
+                        rak_open[node.index()] = None;
+                        let d = slot.saturating_sub(start);
+                        report.stations[node.index()].ack_wait_slots += d;
+                        report.ack_wait.record(d as f64);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -212,6 +376,124 @@ mod tests {
         assert_eq!(cov.count(), 1);
         // 1 of 2 receivers ACKed → coverage 0.5 lands in bin [0.5, 0.6).
         assert_eq!(cov.bins()[5], 1);
+    }
+
+    #[test]
+    fn dwell_matches_episodes() {
+        let m = msg();
+        let events = vec![
+            TraceEvent::ContentionStart {
+                slot: 10,
+                node: NodeId(0),
+                msg: m,
+                attempts: 1,
+                backoff_slots: 3,
+            },
+            TraceEvent::ContentionEnd {
+                slot: 17,
+                node: NodeId(0),
+                msg: m,
+                attempts: 1,
+            },
+            TraceEvent::BatchStart {
+                slot: 17,
+                node: NodeId(0),
+                msg: m,
+                round: 1,
+                batch: vec![NodeId(1)],
+            },
+            TraceEvent::PollSent {
+                slot: 25,
+                node: NodeId(0),
+                msg: m,
+                kind: FrameKind::Rak,
+                target: NodeId(1),
+            },
+            TraceEvent::RxOk {
+                slot: 27,
+                node: NodeId(0),
+                from: NodeId(1),
+                kind: FrameKind::Ack,
+                captured: false,
+            },
+            TraceEvent::BatchEnd {
+                slot: 28,
+                node: NodeId(0),
+                msg: m,
+                round: 1,
+                batch: vec![NodeId(1)],
+                acked: vec![NodeId(1)],
+            },
+            // A RAK whose ACK never comes, closed by the miss verdict.
+            TraceEvent::PollSent {
+                slot: 30,
+                node: NodeId(2),
+                msg: m,
+                kind: FrameKind::Rak,
+                target: NodeId(1),
+            },
+            TraceEvent::AckMissed {
+                slot: 34,
+                node: NodeId(2),
+                msg: m,
+                target: NodeId(1),
+            },
+        ];
+        let d = collect_dwell(&events, 3);
+        assert_eq!(d.stations[0].contention_slots, 7);
+        assert_eq!(d.stations[0].backoff_slots, 3);
+        assert_eq!(d.stations[0].batch_slots, 11);
+        assert_eq!(d.stations[0].ack_wait_slots, 2);
+        assert_eq!(d.stations[2].ack_wait_slots, 4);
+        assert_eq!(d.stations[1], StationDwell::default());
+        assert_eq!(d.contention.count(), 1);
+        assert_eq!(d.batch.count(), 1);
+        assert_eq!(d.ack_wait.count(), 2);
+        assert_eq!(d.backoff.count(), 1);
+        let totals = d.network_totals();
+        assert_eq!(totals.ack_wait_slots, 6);
+        assert_eq!(totals.contention_slots, 7);
+        let reg = d.to_registry();
+        assert_eq!(reg.counter("dwell_ack_wait_slots"), 6);
+        assert_eq!(reg.counter("dwell_contention_slots"), 7);
+        assert_eq!(reg.histogram("dwell_ack_wait").unwrap().count(), 2);
+        assert_eq!(reg.histogram("dwell_backoff").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn dwell_drops_unclosed_episodes() {
+        let m = msg();
+        let events = vec![
+            TraceEvent::ContentionStart {
+                slot: 5,
+                node: NodeId(0),
+                msg: m,
+                attempts: 1,
+                backoff_slots: 2,
+            },
+            TraceEvent::PollSent {
+                slot: 9,
+                node: NodeId(0),
+                msg: m,
+                kind: FrameKind::Rak,
+                target: NodeId(1),
+            },
+            // An ACK from somebody we did not poll must not close the wait.
+            TraceEvent::RxOk {
+                slot: 11,
+                node: NodeId(0),
+                from: NodeId(2),
+                kind: FrameKind::Ack,
+                captured: false,
+            },
+        ];
+        let d = collect_dwell(&events, 2);
+        assert_eq!(d.stations[0].contention_slots, 0);
+        assert_eq!(d.stations[0].ack_wait_slots, 0);
+        // The backoff draw is still counted: it happened at start.
+        assert_eq!(d.stations[0].backoff_slots, 2);
+        assert_eq!(d.contention.count(), 0);
+        assert_eq!(d.ack_wait.count(), 0);
     }
 
     #[test]

@@ -10,8 +10,8 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rmm_geom::Point;
 use rmm_mac::{FrameKindCounts, MacNode, Outcome, ProtocolKind};
-use rmm_sim::{Engine, MsgId, NodeId, Slot, Trace};
-use rmm_stats::{MessageMetric, RunMetrics};
+use rmm_sim::{AirtimeBreakdown, Engine, MsgId, NodeId, Slot, Trace};
+use rmm_stats::{MessageMetric, ProfileReport, RunMetrics};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use std::time::Instant;
@@ -150,6 +150,9 @@ pub struct RunResult {
     /// Fraction of slots with at least one transmission on the air
     /// somewhere in the network.
     pub utilization: f64,
+    /// Exact per-slot channel airtime classification (idle / data /
+    /// control / collision) from the channel's ledger.
+    pub airtime: AirtimeBreakdown,
     /// Liveness-watchdog findings (empty unless `scenario.stall_window`
     /// is set and some sender made no forward progress for a window).
     pub stalls: Vec<StallReport>,
@@ -161,14 +164,14 @@ pub struct RunResult {
 /// engine's event-horizon fast path (bit-exact with naive stepping; see
 /// [`run_one_naive`]).
 pub fn run_one(scenario: &Scenario, protocol: ProtocolKind, seed: u64) -> RunResult {
-    run_one_impl(scenario, protocol, seed, false, true).0
+    run_one_impl(scenario, protocol, seed, false, true, false).0
 }
 
 /// [`run_one`] with naive slot-by-slot stepping. Reference
 /// implementation for the differential determinism suite; produces a
 /// byte-identical result (modulo wall-clock provenance).
 pub fn run_one_naive(scenario: &Scenario, protocol: ProtocolKind, seed: u64) -> RunResult {
-    run_one_impl(scenario, protocol, seed, false, false).0
+    run_one_impl(scenario, protocol, seed, false, false, false).0
 }
 
 /// [`run_one`] with event tracing enabled: returns the result together
@@ -179,7 +182,7 @@ pub fn run_one_traced(
     protocol: ProtocolKind,
     seed: u64,
 ) -> (RunResult, Trace) {
-    let (result, trace) = run_one_impl(scenario, protocol, seed, true, true);
+    let (result, trace, _) = run_one_impl(scenario, protocol, seed, true, true, false);
     (result, trace.expect("tracing was enabled"))
 }
 
@@ -190,8 +193,39 @@ pub fn run_one_traced_naive(
     protocol: ProtocolKind,
     seed: u64,
 ) -> (RunResult, Trace) {
-    let (result, trace) = run_one_impl(scenario, protocol, seed, true, false);
+    let (result, trace, _) = run_one_impl(scenario, protocol, seed, true, false, false);
     (result, trace.expect("tracing was enabled"))
+}
+
+/// [`run_one`] with engine phase-timer profiling enabled: returns the
+/// result together with the per-phase cost attribution. Profiling is a
+/// pure observer — the result is byte-identical (modulo wall-clock
+/// provenance) to the unprofiled run; the differential suite checks
+/// this across every protocol.
+pub fn run_one_profiled(
+    scenario: &Scenario,
+    protocol: ProtocolKind,
+    seed: u64,
+) -> (RunResult, ProfileReport) {
+    let (result, _, profile) = run_one_impl(scenario, protocol, seed, false, true, true);
+    (result, profile.expect("profiling was enabled"))
+}
+
+/// [`run_one_profiled`] with event tracing also enabled, for reports
+/// that want phase timers, the airtime ledger, and trace-derived dwell
+/// histograms from one single run. The timer attribution includes the
+/// (small) cost of trace recording itself.
+pub fn run_one_profiled_traced(
+    scenario: &Scenario,
+    protocol: ProtocolKind,
+    seed: u64,
+) -> (RunResult, ProfileReport, Trace) {
+    let (result, trace, profile) = run_one_impl(scenario, protocol, seed, true, true, true);
+    (
+        result,
+        profile.expect("profiling was enabled"),
+        trace.expect("tracing was enabled"),
+    )
 }
 
 fn run_one_impl(
@@ -200,7 +234,8 @@ fn run_one_impl(
     seed: u64,
     traced: bool,
     fast: bool,
-) -> (RunResult, Option<Trace>) {
+    profiled: bool,
+) -> (RunResult, Option<Trace>, Option<ProfileReport>) {
     let t_setup = Instant::now();
     let topo = uniform_square(scenario.n_nodes, scenario.radius, seed);
     let mean_degree = topo.mean_degree();
@@ -240,6 +275,9 @@ fn run_one_impl(
     }
     if traced {
         engine.enable_trace();
+    }
+    if profiled {
+        engine.enable_profiling();
     }
     let mut traffic = TrafficGen::new(scenario.msg_rate, scenario.mix, seed);
     let mut arrivals = Vec::new();
@@ -305,6 +343,7 @@ fn run_one_impl(
         messages,
         collisions: engine.channel().collisions_total,
         utilization: engine.channel().busy_slots as f64 / scenario.sim_slots as f64,
+        airtime: engine.channel().ledger().breakdown(scenario.sim_slots),
         frames,
         stalls,
         manifest: RunManifest {
@@ -320,7 +359,8 @@ fn run_one_impl(
             },
         },
     };
-    (result, engine.take_trace())
+    let profile = engine.take_profile();
+    (result, engine.take_trace(), profile)
 }
 
 /// Executes one seeded run with random-waypoint mobility and periodic
@@ -457,6 +497,7 @@ fn run_mobile_impl(
         messages,
         collisions: engine.channel().collisions_total,
         utilization: engine.channel().busy_slots as f64 / scenario.sim_slots as f64,
+        airtime: engine.channel().ledger().breakdown(scenario.sim_slots),
         frames,
         stalls,
         manifest: RunManifest {

@@ -11,8 +11,9 @@
 use rmm_mac::ProtocolKind;
 use rmm_sim::{FaultPlan, GilbertElliott, Trace, TraceEvent};
 use rmm_workload::{
-    collect_metrics, run_mobile, run_mobile_naive, run_one_traced, run_one_traced_naive,
-    MobilityConfig, PhaseTimings, RunResult, Scenario,
+    collect_metrics, run_mobile, run_mobile_naive, run_one, run_one_profiled,
+    run_one_profiled_traced, run_one_traced, run_one_traced_naive, MobilityConfig, PhaseTimings,
+    RunResult, Scenario,
 };
 
 const SEEDS: [u64; 5] = [1, 2, 3, 5, 8];
@@ -169,6 +170,59 @@ fn fast_stepping_is_bit_exact_under_faults() {
         faulted_receiver_seen,
         "no message ever had a faulted receiver"
     );
+}
+
+/// The engine's phase profiler is a pure observer: it draws no RNG and
+/// perturbs no dynamics, so a profiled run must be byte-identical to an
+/// unprofiled one for every protocol — while still recording laps for
+/// every engine phase it claims to cover.
+#[test]
+fn profiling_is_bit_exact_for_all_protocols() {
+    let scenario = Scenario {
+        n_nodes: 25,
+        sim_slots: 1_500,
+        n_runs: 1,
+        msg_rate: 2e-3,
+        ..Scenario::default()
+    };
+    for protocol in ALL_PROTOCOLS {
+        for seed in [1, 2] {
+            let plain = run_one(&scenario, protocol, seed);
+            let (profiled, report) = run_one_profiled(&scenario, protocol, seed);
+            assert_eq!(
+                canonical(plain),
+                canonical(profiled),
+                "[prof] {protocol:?} seed {seed}: profiling perturbed the run"
+            );
+            assert!(
+                report.total_ns > 0,
+                "[prof] {protocol:?} seed {seed}: profiler recorded nothing"
+            );
+            for phase in [
+                "carrier_sense",
+                "resolve",
+                "deliver",
+                "fsm_dispatch",
+                "tx_launch",
+                "horizon_scan",
+            ] {
+                let stat = report.phase(phase).expect("every phase reported");
+                assert!(
+                    stat.calls > 0,
+                    "[prof] {protocol:?} seed {seed}: phase {phase} never lapped"
+                );
+            }
+            // Profiling a *traced* run must not disturb the event stream
+            // either (the `rmm prof` path).
+            let (_, _, prof_trace) = run_one_profiled_traced(&scenario, protocol, seed);
+            let (_, trace) = run_one_traced(&scenario, protocol, seed);
+            assert_eq!(
+                prof_trace.events(),
+                trace.events(),
+                "[prof] {protocol:?} seed {seed}: trace diverged under profiling"
+            );
+        }
+    }
 }
 
 /// Mobility injects topology swaps and beacon refreshes mid-run; the

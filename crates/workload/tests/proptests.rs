@@ -96,4 +96,49 @@ proptest! {
             prop_assert!(r.frames.data > 0);
         }
     }
+
+    /// The channel airtime ledger partitions every run slot exactly —
+    /// idle + DATA-success + control overhead + collision == total — for
+    /// every protocol, and its busy share agrees with the channel's
+    /// independent per-slot busy counter (which is what `utilization`
+    /// reports).
+    #[test]
+    fn airtime_ledger_partitions_exactly(seed in 0u64..64, pidx in 0usize..8) {
+        // ProtocolKind::ALL omits the uncoordinated ablation variant;
+        // the ledger invariant must hold for that one too.
+        let protocol = [
+            ProtocolKind::Ieee80211,
+            ProtocolKind::TangGerla,
+            ProtocolKind::Bsma,
+            ProtocolKind::Bmw,
+            ProtocolKind::Bmmm,
+            ProtocolKind::Lamm,
+            ProtocolKind::LeaderBased,
+            ProtocolKind::BmmmUncoordinated,
+        ][pidx];
+        let s = Scenario {
+            n_nodes: 30,
+            sim_slots: 1_200,
+            msg_rate: 2e-3,
+            n_runs: 1,
+            ..Scenario::default()
+        };
+        let r = run_one(&s, protocol, seed);
+        let a = r.airtime;
+        prop_assert_eq!(a.total_slots, s.sim_slots);
+        prop_assert_eq!(
+            a.idle_slots + a.data_slots + a.control_slots + a.collision_slots,
+            a.total_slots,
+            "{:?} seed {}: ledger partition broken", protocol, seed
+        );
+        prop_assert_eq!(
+            a.busy_slots() as f64 / a.total_slots as f64,
+            r.utilization,
+            "{:?} seed {}: ledger busy share disagrees with busy_slots", protocol, seed
+        );
+        // The per-kind airtime covers at least every busy slot (frames
+        // may extend past the run end, so it can exceed the clamped
+        // breakdown, never undershoot it).
+        prop_assert!(a.by_kind.total() >= a.data_slots + a.control_slots + a.collision_slots);
+    }
 }
