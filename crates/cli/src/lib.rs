@@ -8,6 +8,8 @@
 //! rmm compare [--config s.json] [same overrides] [--metrics-out m.json]
 //!             [--jobs N]
 //! rmm trace   --protocol bmmm [--seed N] [overrides]  # JSONL to stdout
+//! rmm chaos   [--iters N] [--budget-secs N] [--protocol name] [--seed N]
+//!             [--canary] [--out repro.json] [--repro repro.json] [overrides]
 //! rmm config  # emit a default scenario JSON template to stdout
 //! ```
 //!
@@ -23,9 +25,11 @@ use rmm::mac::ProtocolKind;
 use rmm::sim::{FaultPlan, GilbertElliott};
 use rmm::stats::{render_profile, render_registry, Summary, Table};
 use rmm::workload::{
-    collect_dwell, collect_metrics, mean_group_metrics, run_many_jobs, run_one,
-    run_one_profiled_traced, run_one_traced, RunResult, Scenario,
+    collect_dwell, collect_metrics, mean_group_metrics, run_chaos, run_many_jobs, run_one,
+    run_one_profiled_traced, run_one_traced, ChaosConfig, ChaosOutcome, ChaosRepro, ChurnPlan,
+    RunResult, Scenario,
 };
+use std::time::Duration;
 
 /// How a run sweep is executed: worker count and optional resumable
 /// manifest (`--jobs`, `--manifest`, `--resume`).
@@ -103,6 +107,27 @@ pub enum Command {
         /// Write a Prometheus text-exposition snapshot to this file.
         prom_out: Option<String>,
     },
+    /// Run a chaos campaign: randomized fault + churn + burst schedules
+    /// checked against the harness invariants, with automatic shrinking.
+    Chaos {
+        /// Base scenario after config + overrides (its fault/churn/burst
+        /// fields are overwritten per iteration).
+        scenario: Scenario,
+        /// Restrict the campaign to one protocol (all eight otherwise).
+        protocol: Option<ProtocolKind>,
+        /// Maximum schedules to try.
+        iters: u64,
+        /// Optional wall-clock budget in seconds.
+        budget_secs: Option<u64>,
+        /// Master seed; iteration `i` uses `seed + i`.
+        seed: u64,
+        /// Emit the outcome as JSON instead of a table.
+        json: bool,
+        /// Write the shrunk repro (JSON) here when a failure is found.
+        out: Option<String>,
+        /// Replay a stored repro file instead of running a campaign.
+        repro: Option<String>,
+    },
     /// Print the default scenario as a JSON template.
     Config,
     /// Print usage.
@@ -161,7 +186,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
     match sub.as_str() {
         "config" => Ok(Command::Config),
         "help" | "--help" | "-h" => Ok(Command::Help),
-        "run" | "compare" | "trace" | "prof" => {
+        "run" | "compare" | "trace" | "prof" | "chaos" => {
             let mut protocol = None;
             let mut scenario = Scenario::default();
             let mut seed = 0u64;
@@ -171,6 +196,10 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
             let mut profile_out = None;
             let mut prom_out = None;
             let mut sweep = SweepOpts::default();
+            let mut iters = 64u64;
+            let mut budget_secs = None;
+            let mut out = None;
+            let mut repro = None;
             let rest: Vec<String> = args.collect();
             let mut i = 0;
             let value = |rest: &[String], i: usize, flag: &str| -> Result<String, CliError> {
@@ -224,7 +253,14 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
                     }
                     "--faults" => {
                         let v = value(&rest, i, "--faults")?;
-                        scenario.faults = FaultPlan::parse(&v).map_err(CliError::BadValue)?;
+                        scenario.faults = FaultPlan::parse(&v)
+                            .map_err(|e| CliError::BadValue(format!("--faults: {e}")))?;
+                        i += 2;
+                    }
+                    "--churn" => {
+                        let v = value(&rest, i, "--churn")?;
+                        scenario.churn = ChurnPlan::parse(&v)
+                            .map_err(|e| CliError::BadValue(format!("--churn: {e}")))?;
                         i += 2;
                     }
                     "--burst-fer" => {
@@ -275,6 +311,28 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
                         sweep.resume = true;
                         i += 1;
                     }
+                    "--iters" if sub == "chaos" => {
+                        iters = parse_num(&rest, i, "--iters")?;
+                        i += 2;
+                    }
+                    "--budget-secs" if sub == "chaos" => {
+                        budget_secs = Some(parse_num(&rest, i, "--budget-secs")?);
+                        i += 2;
+                    }
+                    "--out" if sub == "chaos" => {
+                        out = Some(value(&rest, i, "--out")?);
+                        i += 2;
+                    }
+                    "--repro" if sub == "chaos" => {
+                        repro = Some(value(&rest, i, "--repro")?);
+                        i += 2;
+                    }
+                    "--canary" if sub == "chaos" => {
+                        // A preset, like --config: later flags override it.
+                        scenario = canary_scenario();
+                        protocol = protocol.or(Some(ProtocolKind::Bmw));
+                        i += 1;
+                    }
                     other => return Err(CliError::Unknown(other.to_string())),
                 }
             }
@@ -283,6 +341,17 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
                     "--resume (requires --manifest <file>)".into(),
                 ));
             }
+            // The engine asserts plan validity; reject bad plans (from
+            // --faults/--churn or a config file) with a friendly error
+            // instead of panicking mid-run.
+            scenario
+                .faults
+                .validate(scenario.n_nodes)
+                .map_err(|e| CliError::BadValue(format!("--faults: {e}")))?;
+            scenario
+                .churn
+                .validate(scenario.n_nodes)
+                .map_err(|e| CliError::BadValue(format!("--churn: {e}")))?;
             match sub.as_str() {
                 "run" => Ok(Command::Run {
                     protocol: protocol.ok_or(CliError::MissingProtocol)?,
@@ -308,6 +377,16 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
                     seed,
                     trace_out,
                     metrics_out,
+                }),
+                "chaos" => Ok(Command::Chaos {
+                    scenario,
+                    protocol,
+                    iters,
+                    budget_secs,
+                    seed,
+                    json,
+                    out,
+                    repro,
                 }),
                 _ => Ok(Command::Compare {
                     scenario,
@@ -396,6 +475,24 @@ pub fn render_run(
         .collect();
     let ci = Summary::of(&delivery);
     let stalls: usize = results.iter().map(|r| r.stalls.len()).sum();
+    // Mean per-epoch delivery across the sweep (epoch boundaries are a
+    // property of the churn plan, so every run has the same table shape).
+    let no_epochs = Vec::new();
+    let epochs: Vec<(String, f64)> = results
+        .first()
+        .map_or(&no_epochs, |first| &first.churn_epochs)
+        .iter()
+        .enumerate()
+        .map(|(i, e)| {
+            let mean = results
+                .iter()
+                .map(|r| r.churn_epochs[i].group_metrics.delivery_rate)
+                .sum::<f64>()
+                / results.len() as f64;
+            let until = e.until.map_or_else(|| "end".to_string(), |u| u.to_string());
+            (format!("epoch {} [{}..{until})", e.epoch, e.from), mean)
+        })
+        .collect();
     if json {
         Ok(serde_json::json!({
             "protocol": protocol.name(),
@@ -409,6 +506,10 @@ pub fn render_run(
             "stalls": stalls,
             "utilization": results.iter().map(|r| r.utilization).sum::<f64>() / results.len() as f64,
             "reliable": protocol.is_reliable(),
+            "churn_epochs": epochs
+                .iter()
+                .map(|(label, mean)| serde_json::json!({ "epoch": label, "delivery_rate": mean }))
+                .collect::<Vec<_>>(),
         })
         .to_string())
     } else {
@@ -439,6 +540,9 @@ pub fn render_run(
         }
         if scenario.stall_window.is_some() {
             t.row(["watchdog stalls".to_string(), stalls.to_string()]);
+        }
+        for (label, mean) in &epochs {
+            t.row([format!("delivery {label}"), format!("{mean:.3}")]);
         }
         t.row([
             "reliable protocol".to_string(),
@@ -650,6 +754,126 @@ pub fn compare_metrics_json(scenario: &Scenario, seed: u64) -> String {
     serde_json::Value::Array(rows).pretty()
 }
 
+/// The deliberately fragile "canary" configuration: the service timeout
+/// and both retry budgets are effectively unbounded and the contention
+/// window may grow six orders of magnitude, so a schedule that kills a
+/// receiver drives its sender into ever-longer silent backoff until the
+/// liveness watchdog trips. `rmm chaos --canary` must find that stall
+/// and shrink it — it is the harness's own end-to-end test.
+pub fn canary_scenario() -> Scenario {
+    let mut s = Scenario {
+        n_nodes: 12,
+        sim_slots: 12_000,
+        n_runs: 1,
+        msg_rate: 2e-3,
+        stall_window: Some(2_000),
+        ..Scenario::default()
+    };
+    s.timing.timeout = 1_000_000;
+    s.timing.retry_limit = u32::MAX;
+    s.timing.dest_retry_limit = u32::MAX;
+    s.timing.cw_max = 1 << 20;
+    s
+}
+
+/// Artifacts from one chaos campaign.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// The campaign outcome (shrunk repro included when a run failed).
+    pub outcome: ChaosOutcome,
+    /// Rendered table or JSON.
+    pub rendered: String,
+}
+
+/// Runs a chaos campaign per the parsed `chaos` flags and renders the
+/// outcome.
+pub fn run_chaos_campaign(
+    scenario: &Scenario,
+    protocol: Option<ProtocolKind>,
+    iters: u64,
+    budget_secs: Option<u64>,
+    seed: u64,
+    json: bool,
+) -> ChaosReport {
+    let cfg = ChaosConfig {
+        base: scenario.clone(),
+        protocols: protocol.map_or_else(|| ProtocolKind::ALL.to_vec(), |p| vec![p]),
+        iters,
+        seed,
+        budget: budget_secs.map(Duration::from_secs),
+        max_shrink_checks: 128,
+    };
+    let outcome = run_chaos(&cfg);
+    let rendered = if json {
+        serde_json::to_string_pretty(&outcome).expect("outcome serializes")
+    } else {
+        render_chaos(&outcome)
+    };
+    ChaosReport { outcome, rendered }
+}
+
+fn render_chaos(outcome: &ChaosOutcome) -> String {
+    let Some(repro) = &outcome.failure else {
+        return format!(
+            "chaos: {} schedules checked, every invariant held\n",
+            outcome.iterations
+        );
+    };
+    let mut t = Table::new(["field", "value"]);
+    t.row(["protocol".to_string(), repro.protocol.name().to_string()]);
+    t.row(["seed".to_string(), repro.seed.to_string()]);
+    t.row(["iterations".to_string(), outcome.iterations.to_string()]);
+    t.row(["violations".to_string(), format!("{:?}", repro.violations)]);
+    t.row([
+        "schedule events".to_string(),
+        format!(
+            "{} -> {} ({} shrink checks)",
+            outcome.events_before, outcome.events_after, outcome.shrink_checks
+        ),
+    ]);
+    t.row(["faults".to_string(), repro.scenario.faults.spec()]);
+    t.row(["churn".to_string(), repro.scenario.churn.spec()]);
+    t.row([
+        "burst".to_string(),
+        repro
+            .scenario
+            .burst
+            .map_or_else(|| "-".to_string(), |b| format!("{},{}", b.p, b.r)),
+    ]);
+    let mut s = t.render();
+    s.push('\n');
+    for d in &repro.detail {
+        s.push_str("  ");
+        s.push_str(d);
+        s.push('\n');
+    }
+    s
+}
+
+/// Pretty JSON for writing a repro to disk.
+pub fn repro_json(repro: &ChaosRepro) -> String {
+    serde_json::to_string_pretty(repro).expect("repro serializes")
+}
+
+/// Replays a stored [`ChaosRepro`] file; `Ok` when the recorded
+/// violation kinds reproduce exactly.
+pub fn replay_repro(path: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let repro: ChaosRepro = serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))?;
+    let found = repro.replay()?;
+    let mut s = format!(
+        "{path}: reproduced {:?} ({} violations)\n",
+        repro.violations,
+        found.len()
+    );
+    for v in &found {
+        s.push_str("  ");
+        s.push_str(&v.detail);
+        s.push('\n');
+    }
+    Ok(s)
+}
+
 /// The default scenario as a pretty JSON template.
 pub fn config_template() -> String {
     serde_json::to_string_pretty(&Scenario::default()).expect("scenario serializes")
@@ -665,13 +889,16 @@ usage:
   rmm trace --protocol <name> [options]   # one traced run, JSONL events
   rmm prof --protocol <name> [options]    # one profiled run: phase timers,
                                           # airtime ledger, FSM dwell
+  rmm chaos [options]     # randomized fault/churn/burst schedules checked
+                          # against invariants, failures shrunk to a repro
   rmm config              # print a scenario JSON template
 
 options:
   --config <file.json>    load a Scenario (JSON); flags below override it
   --nodes N  --slots N  --rate X  --timeout N  --runs N
   --threshold X  --fer X  --seed N  --json
-  --faults <spec>         inject node faults, e.g. crash:5@1000;deaf:3@200..800;mute:7@0..500
+  --faults <spec>         inject node faults, e.g. crash:5@1000;deaf:3@200..800;reboot:2@100..600
+  --churn <spec>          group membership churn, e.g. leave:3@500;join:3@900
   --burst-fer p,r         Gilbert-Elliott burst-error channel (G->B prob p, B->G prob r)
   --stall-window N        liveness watchdog: report senders with no tx for N slots
   --trace-out <file>      write the traced run's events as JSON Lines
@@ -685,6 +912,13 @@ options:
                           0 = one per core; results identical at any N)
   --manifest <file>       record completed runs for later --resume (run)
   --resume                reuse completed runs from --manifest (run)
+  --iters N               chaos: max schedules to try (default 64)
+  --budget-secs N         chaos: wall-clock budget; stops early when spent
+  --canary                chaos: unbounded-retry preset that must stall —
+                          the harness's own end-to-end check
+  --out <file>            chaos: write the shrunk repro JSON when a run fails
+  --repro <file>          chaos: replay a stored repro instead of campaigning
+  (chaos exits 1 when a violation is found or a replay drifts)
 ";
 
 #[cfg(test)]
@@ -888,6 +1122,117 @@ mod tests {
             parse_args(args("run --protocol bmmm --burst-fer 2.0,0.5")),
             Err(CliError::BadValue(_))
         ));
+    }
+
+    #[test]
+    fn parse_chaos_flags() {
+        let cmd = parse_args(args(
+            "chaos --iters 10 --budget-secs 5 --protocol bmw --seed 9 --out r.json",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Chaos {
+                protocol,
+                iters,
+                budget_secs,
+                seed,
+                out,
+                repro,
+                ..
+            } => {
+                assert_eq!(protocol, Some(ProtocolKind::Bmw));
+                assert_eq!(iters, 10);
+                assert_eq!(budget_secs, Some(5));
+                assert_eq!(seed, 9);
+                assert_eq!(out.as_deref(), Some("r.json"));
+                assert_eq!(repro, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        // chaos needs no --protocol: it rotates through all eight.
+        assert!(matches!(
+            parse_args(args("chaos")),
+            Ok(Command::Chaos {
+                protocol: None,
+                iters: 64,
+                ..
+            })
+        ));
+        // --canary presets the fragile scenario and defaults to BMW.
+        match parse_args(args("chaos --canary")).unwrap() {
+            Command::Chaos {
+                scenario, protocol, ..
+            } => {
+                assert_eq!(scenario, canary_scenario());
+                assert_eq!(protocol, Some(ProtocolKind::Bmw));
+            }
+            other => panic!("{other:?}"),
+        }
+        // chaos-only flags are rejected elsewhere.
+        assert!(matches!(
+            parse_args(args("run --protocol bmw --iters 5")),
+            Err(CliError::Unknown(_))
+        ));
+        assert!(matches!(
+            parse_args(args("trace --protocol bmw --canary")),
+            Err(CliError::Unknown(_))
+        ));
+    }
+
+    #[test]
+    fn parse_churn_flag_and_plan_validation() {
+        match parse_args(args("run --protocol bmmm --churn leave:3@500;join:3@900")).unwrap() {
+            Command::Run { scenario, .. } => {
+                assert_eq!(scenario.churn.spec(), "leave:3@500;join:3@900");
+            }
+            other => panic!("{other:?}"),
+        }
+        // Malformed specs and plans naming out-of-range stations are
+        // rejected at parse time — the engine would panic mid-run
+        // otherwise.
+        assert!(matches!(
+            parse_args(args("run --protocol bmmm --churn bogus:1@2")),
+            Err(CliError::BadValue(_))
+        ));
+        assert!(matches!(
+            parse_args(args("run --protocol bmmm --nodes 4 --churn leave:9@100")),
+            Err(CliError::BadValue(_))
+        ));
+        assert!(matches!(
+            parse_args(args("run --protocol bmmm --nodes 4 --faults crash:9@100")),
+            Err(CliError::BadValue(_))
+        ));
+    }
+
+    #[test]
+    fn canary_campaign_finds_shrinks_and_replays_a_stall() {
+        use rmm::workload::ViolationKind;
+        let report = run_chaos_campaign(
+            &canary_scenario(),
+            Some(ProtocolKind::Bmw),
+            16,
+            None,
+            51_866,
+            false,
+        );
+        let failure = report.outcome.failure.as_ref().expect("canary must fail");
+        assert!(
+            failure.violations.contains(&ViolationKind::Stall),
+            "{:?}",
+            failure.violations
+        );
+        assert!(
+            report.outcome.events_after <= 5,
+            "shrunk to {} events",
+            report.outcome.events_after
+        );
+        assert!(report.outcome.events_after <= report.outcome.events_before);
+        failure
+            .replay()
+            .expect("shrunk repro replays to the same failure");
+        assert!(report.rendered.contains("Stall"));
+        let back: ChaosRepro = serde_json::from_str(&repro_json(failure)).unwrap();
+        assert_eq!(&back, failure);
     }
 
     #[test]

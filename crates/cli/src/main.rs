@@ -2,7 +2,7 @@
 
 use rmm_cli::{
     compare_metrics_json, export_profile, export_trace, parse_args, render_compare, render_run,
-    Command, USAGE,
+    replay_repro, repro_json, run_chaos_campaign, Command, USAGE,
 };
 
 fn write_file(path: &str, contents: &str) {
@@ -90,6 +90,40 @@ fn main() {
                 write_file(path, &export.metrics_json);
             }
             eprintln!("{}", export.summary);
+        }
+        Command::Chaos {
+            scenario,
+            protocol,
+            iters,
+            budget_secs,
+            seed,
+            json,
+            out,
+            repro,
+        } => {
+            if let Some(path) = repro.as_deref() {
+                match replay_repro(path) {
+                    Ok(text) => print!("{text}"),
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            } else {
+                let report =
+                    run_chaos_campaign(&scenario, protocol, iters, budget_secs, seed, json);
+                print!("{}", report.rendered);
+                if json {
+                    println!();
+                }
+                if let Some(failure) = &report.outcome.failure {
+                    if let Some(path) = out.as_deref() {
+                        write_file(path, &repro_json(failure));
+                        eprintln!("[repro written to {path}]");
+                    }
+                    std::process::exit(1);
+                }
+            }
         }
         Command::Prof {
             protocol,

@@ -260,21 +260,26 @@ impl MacNode {
             } else {
                 Outcome::Pending
             };
-            self.core.records.push(SentRecord {
-                msg: req.msg,
-                kind: req.kind,
-                intended: req.receivers.clone(),
-                arrival: req.arrival,
-                started: None,
-                outcome,
-                contention_phases: 0,
-                data_tx: 0,
-                control_tx: 0,
-                acked: Vec::new(),
-                assumed_covered: Vec::new(),
-                gave_up: Vec::new(),
-            });
+            self.record_unserviced(req, outcome);
         }
+    }
+
+    /// Records a request that never entered service.
+    fn record_unserviced(&mut self, req: Request, outcome: Outcome) {
+        self.core.records.push(SentRecord {
+            msg: req.msg,
+            kind: req.kind,
+            intended: req.receivers,
+            arrival: req.arrival,
+            started: None,
+            outcome,
+            contention_phases: 0,
+            data_tx: 0,
+            control_tx: 0,
+            acked: Vec::new(),
+            assumed_covered: Vec::new(),
+            gave_up: Vec::new(),
+        });
     }
 
     fn finish(&mut self, active: Active, outcome: Outcome) {
@@ -301,20 +306,7 @@ impl MacNode {
         let now = ctx.now;
         while let Some(req) = self.queue.pop_front() {
             if req.timed_out(now, self.core.timing.timeout) {
-                self.core.records.push(SentRecord {
-                    msg: req.msg,
-                    kind: req.kind,
-                    intended: req.receivers.clone(),
-                    arrival: req.arrival,
-                    started: None,
-                    outcome: Outcome::TimedOut(now),
-                    contention_phases: 0,
-                    data_tx: 0,
-                    control_tx: 0,
-                    acked: Vec::new(),
-                    assumed_covered: Vec::new(),
-                    gave_up: Vec::new(),
-                });
+                self.record_unserviced(req, Outcome::TimedOut(now));
                 continue;
             }
             let fsm = Fsm::for_request(self.core.protocol, &req);
@@ -771,6 +763,28 @@ impl Station for MacNode {
 
     fn on_slot(&mut self, ctx: &mut Ctx<'_>) {
         self.slot(ctx);
+    }
+
+    /// Crash-recovery cold reset ([`rmm_sim::FaultKind::Reboot`]): the
+    /// platform rebooted, so transient MAC state is lost. The in-service
+    /// exchange and everything queued behind it die with the radio
+    /// (recorded as failed, so the harness still sees every request);
+    /// the NAV, receiver-side data waits, and half-duplex bookkeeping
+    /// clear. Measurement state survives: decoded messages, counters,
+    /// sender records, and the sequence counter (post-reboot `MsgId`s
+    /// must stay unique). The station's RNG keeps its stream position —
+    /// a reboot must not replay backoff draws already consumed.
+    fn on_reset(&mut self, now: Slot) {
+        if let Some(active) = self.active.take() {
+            self.finish(active, Outcome::Failed(now));
+        }
+        while let Some(req) = self.queue.pop_front() {
+            self.record_unserviced(req, Outcome::Failed(now));
+        }
+        self.core.nav = Nav::new();
+        self.core.wait_data.clear();
+        self.core.tx_until = now;
+        self.next_poll = now;
     }
 
     fn next_wakeup(&self, now: Slot) -> Option<Slot> {

@@ -229,6 +229,108 @@ fn retry_ceiling_bounds_protocols_without_budgets() {
     }
 }
 
+#[test]
+fn receiver_reboot_mid_batch_does_not_wedge_the_sender() {
+    // A receiver vanishes early in the batch and reappears at slot 700.
+    // The sender must terminate the first message in bounded work, the
+    // healthy receivers must still get it, and a second message sent
+    // after the recovery must reach the rebooted node too.
+    for protocol in BUDGETED {
+        let timing = MacTiming {
+            timeout: 6_000,
+            ..Default::default()
+        };
+        let topo = star(3);
+        let mut nodes = MacNode::build_network(&topo, protocol, timing, 11);
+        let mut engine = Engine::new(topo, Capture::ZorziRao, 11);
+        engine.set_faults(FaultPlan::new().reboot(NodeId(1), 5, 700));
+        let receivers: Vec<NodeId> = (1..=3).map(NodeId).collect();
+        nodes[0].enqueue(TrafficKind::Multicast, receivers.clone(), 0);
+        engine.run(&mut nodes, 2_000);
+        let rec = &nodes[0].records()[0];
+        assert!(
+            !matches!(rec.outcome, Outcome::Pending),
+            "{protocol:?}: sender wedged on a rebooting receiver: {:?}",
+            rec.outcome
+        );
+        for (r, node) in nodes.iter().enumerate().take(4).skip(2) {
+            assert_eq!(
+                node.received().len(),
+                1,
+                "{protocol:?}: healthy receiver {r} missed the message"
+            );
+        }
+        nodes[0].enqueue(TrafficKind::Multicast, receivers, 2_000);
+        engine.run(&mut nodes, 2_000);
+        for node in &mut nodes {
+            node.drain_unfinished(4_000);
+        }
+        assert!(
+            matches!(nodes[0].records()[1].outcome, Outcome::Completed(_)),
+            "{protocol:?}: post-recovery message did not complete: {:?}",
+            nodes[0].records()[1].outcome
+        );
+        assert!(
+            nodes[1].received().iter().any(|m| m.seq == 1),
+            "{protocol:?}: rebooted receiver missed the post-recovery message"
+        );
+    }
+}
+
+#[test]
+fn sender_reboot_cold_resets_service_and_queue() {
+    // Unbounded retry budgets so only the reboot itself can kill the
+    // in-flight exchange: the active message and the one queued behind
+    // it must both be recorded as failed at the recovery slot, and a
+    // message enqueued after recovery must complete normally.
+    let timing = MacTiming {
+        timeout: 10_000,
+        retry_limit: u32::MAX,
+        dest_retry_limit: u32::MAX,
+        ..Default::default()
+    };
+    let topo = star(2);
+    let mut nodes = MacNode::build_network(&topo, ProtocolKind::Bmmm, timing, 5);
+    let mut engine = Engine::new(topo, Capture::ZorziRao, 5);
+    // The window opens at slot 2, before DIFS can elapse, so nothing the
+    // sender does before the blackout ever reaches the air.
+    engine.set_faults(FaultPlan::new().reboot(NodeId(0), 2, 300));
+    let receivers = vec![NodeId(1), NodeId(2)];
+    nodes[0].enqueue(TrafficKind::Multicast, receivers.clone(), 0);
+    nodes[0].enqueue(TrafficKind::Multicast, receivers.clone(), 0);
+    engine.run(&mut nodes, 400);
+    let recs = nodes[0].records();
+    assert_eq!(recs.len(), 2, "both pre-reboot messages should be closed");
+    assert!(
+        recs.iter()
+            .all(|r| matches!(r.outcome, Outcome::Failed(300))),
+        "pre-reboot messages should fail at the recovery slot: {:?}",
+        recs.iter().map(|r| r.outcome).collect::<Vec<_>>()
+    );
+    assert!(
+        recs[1].started.is_none(),
+        "the queued message never entered service"
+    );
+    assert!(
+        nodes[1].received().is_empty() && nodes[2].received().is_empty(),
+        "nothing should have been delivered through the blackout"
+    );
+    nodes[0].enqueue(TrafficKind::Multicast, receivers, 400);
+    engine.run(&mut nodes, 2_000);
+    for node in &mut nodes {
+        node.drain_unfinished(2_400);
+    }
+    let recs = nodes[0].records();
+    assert!(
+        matches!(recs[2].outcome, Outcome::Completed(_)),
+        "post-recovery message should complete: {:?}",
+        recs[2].outcome
+    );
+    // MsgIds stay unique across the reset: the delivered message is seq 2.
+    assert!(nodes[1].received().iter().all(|m| m.seq == 2));
+    assert_eq!(nodes[1].received().len(), 1);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 

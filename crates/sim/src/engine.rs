@@ -88,6 +88,15 @@ pub trait Station {
     fn next_wakeup(&self, now: Slot) -> Option<Slot> {
         Some(now + 1)
     }
+
+    /// The station's platform rebooted: a [`crate::FaultKind::Reboot`]
+    /// blackout window just ended. The engine calls this at the top of
+    /// the recovery slot, before any reception or `on_slot` in it, so
+    /// the naive and event-horizon steppers agree by construction.
+    /// Implementations should cold-reset transient MAC state (in-flight
+    /// exchanges, virtual carrier sense, backoff) while keeping
+    /// measurement state. Default: no-op.
+    fn on_reset(&mut self, _now: Slot) {}
 }
 
 /// The slotted simulation engine: topology + channel + clock.
@@ -107,6 +116,9 @@ pub struct Engine {
     /// Scheduled node faults (empty by default). A pure predicate of
     /// `(node, slot)`, so the fast and naive steppers agree exactly.
     faults: FaultPlan,
+    /// Whether `faults` schedules any reboot — cached so the per-slot
+    /// reboot scan and the horizon clamp cost one branch when it doesn't.
+    has_reboots: bool,
     /// Per-station slot of the most recent transmission that actually
     /// reached the air (`None` = never). Liveness diagnostics for the
     /// workload watchdog; muted/crashed sends do not count.
@@ -134,6 +146,7 @@ impl Engine {
             outcome: SlotOutcome::default(),
             slots_skipped: 0,
             faults: FaultPlan::default(),
+            has_reboots: false,
             last_tx: vec![None; n],
             prof: None,
         }
@@ -206,9 +219,21 @@ impl Engine {
         self.channel.set_fer(fer);
     }
 
-    /// Installs a fault plan. Crashed/deaf nodes decode nothing while
-    /// faulty; crashed/muted nodes' frames are dropped before the air.
+    /// Installs a fault plan. Crashed/deaf/rebooting nodes decode
+    /// nothing while faulty; crashed/muted/rebooting nodes' frames are
+    /// dropped before the air; a rebooting station is cold-reset (via
+    /// [`Station::on_reset`]) at the top of its recovery slot.
+    ///
+    /// # Panics
+    ///
+    /// If the plan fails [`FaultPlan::validate`] against this engine's
+    /// station count: out-of-range node ids, overlapping same-kind
+    /// windows on one node, or a reboot with no recovery slot.
     pub fn set_faults(&mut self, faults: FaultPlan) {
+        if let Err(e) = faults.validate(self.topo.len()) {
+            panic!("invalid fault plan: {e}");
+        }
+        self.has_reboots = faults.has_reboots();
         self.faults = faults;
     }
 
@@ -279,6 +304,18 @@ impl Engine {
     pub fn step<S: Station>(&mut self, stations: &mut [S]) {
         debug_assert_eq!(stations.len(), self.topo.len());
         let now = self.now;
+
+        // Phase 0: reboot completions. A station whose blackout window
+        // ends exactly now comes back with its MAC cold-reset before
+        // anything else happens in this slot — [`Engine::advance_to`]
+        // clamps its skip target to the next completion, so the reset
+        // fires identically under naive and fast stepping.
+        if self.has_reboots {
+            for node in self.faults.reboots_completing_at(now) {
+                stations[node.index()].on_reset(now);
+            }
+        }
+
         let mut mark = self.begin_profiled_unit();
 
         // Carrier sense for the whole slot, computed once: phases 1 and 2
@@ -401,6 +438,13 @@ impl Engine {
             let mut mark = self.begin_profiled_unit();
             let prev = self.now - 1;
             let mut horizon = target;
+            // Never skip past a reboot completion: the recovery slot
+            // must actually be stepped so the cold reset fires there.
+            if self.has_reboots {
+                if let Some(recovery) = self.faults.next_reboot_completion(self.now) {
+                    horizon = horizon.min(recovery);
+                }
+            }
             for station in stations.iter() {
                 let Some(wake) = station.next_wakeup(prev) else {
                     continue;
@@ -439,6 +483,7 @@ mod tests {
         plan: Vec<(Slot, Frame)>,
         heard: Vec<(Slot, NodeId, FrameKind)>,
         busy_log: Vec<bool>,
+        resets: Vec<Slot>,
     }
 
     impl Station for Scripted {
@@ -451,6 +496,9 @@ mod tests {
                 let (_, frame) = self.plan.remove(pos);
                 ctx.send(frame);
             }
+        }
+        fn on_reset(&mut self, now: Slot) {
+            self.resets.push(now);
         }
     }
 
@@ -579,6 +627,7 @@ mod tests {
         period: Slot,
         seen: Vec<Slot>,
         plan: Vec<(Slot, Frame)>,
+        resets: Vec<Slot>,
     }
 
     impl Dozer {
@@ -587,6 +636,7 @@ mod tests {
                 period,
                 seen: Vec::new(),
                 plan: Vec::new(),
+                resets: Vec::new(),
             }
         }
     }
@@ -602,6 +652,9 @@ mod tests {
         }
         fn next_wakeup(&self, now: Slot) -> Option<Slot> {
             Some((now / self.period + 1) * self.period)
+        }
+        fn on_reset(&mut self, now: Slot) {
+            self.resets.push(now);
         }
     }
 
@@ -725,6 +778,70 @@ mod tests {
         assert!(eng.trace().unwrap().events().is_empty());
         assert!(st[1].busy_log.iter().all(|&b| !b));
         assert_eq!(eng.last_tx(NodeId(0)), None);
+    }
+
+    #[test]
+    fn reboot_blocks_radio_then_resets_at_recovery() {
+        use crate::fault::FaultPlan;
+        let mut eng = Engine::new(pair_topo(), Capture::None, 1);
+        eng.set_faults(FaultPlan::new().reboot(NodeId(1), 2, 6));
+        let mut st = vec![
+            Scripted {
+                plan: vec![(0, rts(0, 1)), (3, rts(0, 1)), (7, rts(0, 1))],
+                ..Default::default()
+            },
+            Scripted {
+                plan: vec![(4, rts(1, 0))],
+                ..Default::default()
+            },
+        ];
+        eng.run(&mut st, 10);
+        // Pre-window and post-window frames arrive; the mid-window one is
+        // lost (rx dead) and node 1's own frame never airs (tx dead).
+        assert_eq!(
+            st[1].heard,
+            vec![
+                (1, NodeId(0), FrameKind::Rts),
+                (8, NodeId(0), FrameKind::Rts)
+            ]
+        );
+        assert!(st[0].heard.is_empty());
+        assert_eq!(eng.last_tx(NodeId(1)), None);
+        // Exactly one cold reset, at the recovery slot, only for node 1.
+        assert_eq!(st[1].resets, vec![6]);
+        assert!(st[0].resets.is_empty());
+    }
+
+    #[test]
+    fn fast_path_steps_the_reboot_recovery_slot() {
+        use crate::fault::FaultPlan;
+        // The recovery slot (17) is aligned with no wakeup hint (period
+        // 10): without the horizon clamp the fast path would skip it and
+        // never fire the reset.
+        let run = |fast: bool| {
+            let mut eng = Engine::new(pair_topo(), Capture::None, 1);
+            eng.set_faults(FaultPlan::new().reboot(NodeId(1), 3, 17));
+            let mut st = vec![Dozer::new(10), Dozer::new(10)];
+            if fast {
+                eng.run_fast(&mut st, 30);
+            } else {
+                eng.run(&mut st, 30);
+            }
+            (st[0].seen.clone(), st[1].resets.clone())
+        };
+        let (_, naive_resets) = run(false);
+        let (fast_seen, fast_resets) = run(true);
+        assert_eq!(naive_resets, vec![17]);
+        assert_eq!(fast_resets, vec![17], "fast path missed the reset slot");
+        assert!(fast_seen.contains(&17), "recovery slot was skipped");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fault plan")]
+    fn set_faults_rejects_out_of_range_nodes() {
+        use crate::fault::FaultPlan;
+        let mut eng = Engine::new(pair_topo(), Capture::None, 1);
+        eng.set_faults(FaultPlan::new().crash(NodeId(7), 10));
     }
 
     #[test]

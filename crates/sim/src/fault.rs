@@ -8,6 +8,12 @@
 //! `(node, slot)` enforced by the engine (so the naive and event-horizon
 //! steppers agree by construction), and the burst chain advances only on
 //! reception attempts, from its own dedicated RNG stream.
+//!
+//! The one non-predicate fault is [`FaultKind::Reboot`]: the blackout
+//! window is a pure predicate like the others, but when it ends the
+//! engine cold-resets the station's MAC at the top of the recovery slot
+//! (and the event-horizon stepper clamps its skip target to that slot),
+//! so both steppers still agree by construction.
 
 use crate::ids::{NodeId, Slot};
 use rand::rngs::SmallRng;
@@ -29,6 +35,14 @@ pub enum FaultKind {
     /// believes it transmitted (a dead power amplifier is invisible to
     /// the MAC), so its counters and half-duplex bookkeeping advance.
     TxMute,
+    /// Crash-with-recovery: the radio is fully dead (no rx, no tx)
+    /// during `[from, until)`, and at `until` the station comes back
+    /// with its MAC **cold-reset**. The engine performs the reset (via
+    /// [`crate::Station::on_reset`]) at the top of slot `until`, before
+    /// anything else happens in that slot, so the naive and
+    /// event-horizon steppers agree by construction. `until` is
+    /// mandatory — a reboot that never completes is a [`FaultKind::Crash`].
+    Reboot,
 }
 
 impl FaultKind {
@@ -37,6 +51,7 @@ impl FaultKind {
             FaultKind::Crash => "crash",
             FaultKind::Deaf => "deaf",
             FaultKind::TxMute => "mute",
+            FaultKind::Reboot => "reboot",
         }
     }
 }
@@ -56,27 +71,79 @@ pub struct NodeFault {
 }
 
 impl NodeFault {
-    fn active_at(&self, slot: Slot) -> bool {
-        if slot < self.from {
-            return false;
-        }
+    /// One past the last faulty slot, `None` meaning forever. `Crash`
+    /// is forever by definition, whatever its `until` field says.
+    fn end(&self) -> Option<Slot> {
         match self.kind {
-            FaultKind::Crash => true,
-            _ => self.until.is_none_or(|u| slot < u),
+            FaultKind::Crash => None,
+            _ => self.until,
         }
+    }
+
+    fn active_at(&self, slot: Slot) -> bool {
+        slot >= self.from && self.end().is_none_or(|u| slot < u)
     }
 
     /// Whether the fault is active anywhere in `[from, to)`.
     fn active_during(&self, from: Slot, to: Slot) -> bool {
-        if to <= self.from {
-            return false;
-        }
-        match self.kind {
-            FaultKind::Crash => true,
-            _ => self.until.is_none_or(|u| from < u),
+        to > self.from && self.end().is_none_or(|u| from < u)
+    }
+
+    /// Whether two faults' active windows intersect.
+    fn overlaps(&self, other: &NodeFault) -> bool {
+        self.end().is_none_or(|u| other.from < u) && other.end().is_none_or(|u| self.from < u)
+    }
+
+    /// Renders this fault in the [`FaultPlan::parse`] entry syntax.
+    fn entry_spec(&self) -> String {
+        match (self.kind, self.until) {
+            (FaultKind::Crash, _) | (_, None) => {
+                format!("{}:{}@{}", self.kind.tag(), self.node.0, self.from)
+            }
+            (_, Some(u)) => format!("{}:{}@{}..{}", self.kind.tag(), self.node.0, self.from, u),
         }
     }
 }
+
+/// A [`FaultPlan::parse`] error, carrying the byte span of the
+/// offending token within the original spec string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    /// Byte offset of the offending token in the spec string.
+    pub offset: usize,
+    /// Byte length of the offending token (at least 1).
+    pub len: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl SpecError {
+    /// Builds an error whose span is `token`, which must be a subslice
+    /// of `spec` (as every token produced by a `split`-based parser is).
+    /// Shared by the fault and churn spec parsers.
+    pub fn at(spec: &str, token: &str, msg: impl Into<String>) -> SpecError {
+        let offset = (token.as_ptr() as usize).saturating_sub(spec.as_ptr() as usize);
+        SpecError {
+            offset: offset.min(spec.len()),
+            len: token.len().max(1),
+            msg: msg.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "at {}..{}: {}",
+            self.offset,
+            self.offset + self.len,
+            self.msg
+        )
+    }
+}
+
+impl std::error::Error for SpecError {}
 
 /// A deterministic schedule of node faults, applied by the engine.
 ///
@@ -133,23 +200,115 @@ impl FaultPlan {
         self
     }
 
-    /// Whether `node` cannot decode frames at `slot` (crashed or deaf).
+    /// Adds a reboot of `node`: radio fully dead during `[from, until)`,
+    /// MAC cold-reset by the engine at `until`.
+    pub fn reboot(mut self, node: NodeId, from: Slot, until: Slot) -> Self {
+        assert!(until > from, "reboot window must be non-empty");
+        self.faults.push(NodeFault {
+            node,
+            kind: FaultKind::Reboot,
+            from,
+            until: Some(until),
+        });
+        self
+    }
+
+    /// Whether `node` cannot decode frames at `slot` (crashed, deaf, or
+    /// mid-reboot).
     pub fn blocks_rx(&self, node: NodeId, slot: Slot) -> bool {
         self.faults.iter().any(|f| {
             f.node == node
-                && matches!(f.kind, FaultKind::Crash | FaultKind::Deaf)
+                && matches!(
+                    f.kind,
+                    FaultKind::Crash | FaultKind::Deaf | FaultKind::Reboot
+                )
                 && f.active_at(slot)
         })
     }
 
     /// Whether frames sent by `node` at `slot` are dropped before the
-    /// air (crashed or TX-muted).
+    /// air (crashed, TX-muted, or mid-reboot).
     pub fn blocks_tx(&self, node: NodeId, slot: Slot) -> bool {
         self.faults.iter().any(|f| {
             f.node == node
-                && matches!(f.kind, FaultKind::Crash | FaultKind::TxMute)
+                && matches!(
+                    f.kind,
+                    FaultKind::Crash | FaultKind::TxMute | FaultKind::Reboot
+                )
                 && f.active_at(slot)
         })
+    }
+
+    /// Whether the plan schedules any reboot (cheap gate so the engine
+    /// pays nothing for reboot bookkeeping when there are none).
+    pub fn has_reboots(&self) -> bool {
+        self.faults.iter().any(|f| f.kind == FaultKind::Reboot)
+    }
+
+    /// Nodes whose reboot window ends exactly at `slot` — stations the
+    /// engine must cold-reset at the top of `slot`, before anything else
+    /// happens in it.
+    pub fn reboots_completing_at(&self, slot: Slot) -> impl Iterator<Item = NodeId> + '_ {
+        self.faults
+            .iter()
+            .filter(move |f| f.kind == FaultKind::Reboot && f.until == Some(slot))
+            .map(|f| f.node)
+    }
+
+    /// The earliest reboot completion at or after `slot`, if any. The
+    /// event-horizon stepper clamps its skip target to this so the reset
+    /// slot is actually stepped, keeping naive and fast stepping in
+    /// agreement by construction.
+    pub fn next_reboot_completion(&self, slot: Slot) -> Option<Slot> {
+        self.faults
+            .iter()
+            .filter(|f| f.kind == FaultKind::Reboot)
+            .filter_map(|f| f.until)
+            .filter(|&u| u >= slot)
+            .min()
+    }
+
+    /// Validates the plan against a network of `n_nodes` stations:
+    /// every `NodeId` must be in range, every reboot must carry a
+    /// recovery slot, windows must be non-empty, and no two same-kind
+    /// faults on one node may overlap (an overlapping pair is almost
+    /// always a schedule typo, and it would make reboot-completion
+    /// bookkeeping ambiguous).
+    pub fn validate(&self, n_nodes: usize) -> Result<(), String> {
+        for f in &self.faults {
+            if f.node.index() >= n_nodes {
+                return Err(format!(
+                    "fault `{}` names node {} but the network has {} nodes (ids 0..={})",
+                    f.entry_spec(),
+                    f.node.0,
+                    n_nodes,
+                    n_nodes.saturating_sub(1)
+                ));
+            }
+            if f.kind == FaultKind::Reboot && f.until.is_none() {
+                return Err(format!(
+                    "reboot of node {} at {} has no recovery slot; a permanent outage is `crash:{}@{}`",
+                    f.node.0, f.from, f.node.0, f.from
+                ));
+            }
+            if f.until.is_some_and(|u| u <= f.from) {
+                return Err(format!("empty fault window `{}`", f.entry_spec()));
+            }
+        }
+        for (i, a) in self.faults.iter().enumerate() {
+            for b in &self.faults[i + 1..] {
+                if a.node == b.node && a.kind == b.kind && a.overlaps(b) {
+                    return Err(format!(
+                        "overlapping {} windows on node {}: `{}` and `{}`",
+                        a.kind.tag(),
+                        a.node.0,
+                        a.entry_spec(),
+                        b.entry_spec()
+                    ));
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Whether `node` is crashed at `slot`.
@@ -194,47 +353,96 @@ impl FaultPlan {
     }
 
     /// Parses a semicolon-separated fault spec, e.g.
-    /// `crash:5@1000;deaf:3@200..800;mute:7@0..500`. Each entry is
-    /// `kind:node@from` (crash) or `kind:node@from..until` (windowed
-    /// faults; `until` may be omitted for a permanent fault).
-    pub fn parse(spec: &str) -> Result<Self, String> {
+    /// `crash:5@1000;deaf:3@200..800;reboot:7@0..500`. Each entry is
+    /// `kind:node@from` (permanent: crash, or deaf/mute with no window
+    /// end) or `kind:node@from..until` (windowed). `crash` takes no
+    /// window — a crash that recovers is spelled `reboot` — and `reboot`
+    /// requires one. Errors carry the byte span of the offending token
+    /// in `spec`.
+    pub fn parse(spec: &str) -> Result<Self, SpecError> {
         let mut plan = FaultPlan::new();
-        for entry in spec.split(';').filter(|s| !s.trim().is_empty()) {
-            let entry = entry.trim();
-            let (kind_s, rest) = entry
-                .split_once(':')
-                .ok_or_else(|| format!("fault entry `{entry}` missing `kind:`"))?;
+        for raw in spec.split(';') {
+            let entry = raw.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            let (kind_s, rest) = entry.split_once(':').ok_or_else(|| {
+                SpecError::at(
+                    spec,
+                    entry,
+                    format!("fault entry `{entry}` missing `kind:`"),
+                )
+            })?;
             let kind = match kind_s {
                 "crash" => FaultKind::Crash,
                 "deaf" => FaultKind::Deaf,
                 "mute" => FaultKind::TxMute,
-                other => return Err(format!("unknown fault kind `{other}`")),
+                "reboot" => FaultKind::Reboot,
+                other => {
+                    return Err(SpecError::at(
+                        spec,
+                        kind_s,
+                        format!(
+                            "unknown fault kind `{other}` (expected crash, deaf, mute, or reboot)"
+                        ),
+                    ))
+                }
             };
-            let (node_s, when_s) = rest
-                .split_once('@')
-                .ok_or_else(|| format!("fault entry `{entry}` missing `@slot`"))?;
+            let (node_s, when_s) = rest.split_once('@').ok_or_else(|| {
+                SpecError::at(
+                    spec,
+                    entry,
+                    format!("fault entry `{entry}` missing `@slot`"),
+                )
+            })?;
             let node: u32 = node_s
                 .parse()
-                .map_err(|_| format!("bad node id `{node_s}` in `{entry}`"))?;
+                .map_err(|_| SpecError::at(spec, node_s, format!("bad node id `{node_s}`")))?;
             let (from, until) = match when_s.split_once("..") {
                 Some((a, b)) => {
                     let from = a
                         .parse()
-                        .map_err(|_| format!("bad slot `{a}` in `{entry}`"))?;
+                        .map_err(|_| SpecError::at(spec, a, format!("bad slot `{a}`")))?;
                     let until = b
                         .parse()
-                        .map_err(|_| format!("bad slot `{b}` in `{entry}`"))?;
+                        .map_err(|_| SpecError::at(spec, b, format!("bad slot `{b}`")))?;
                     (from, Some(until))
                 }
                 None => {
                     let from = when_s
                         .parse()
-                        .map_err(|_| format!("bad slot `{when_s}` in `{entry}`"))?;
+                        .map_err(|_| SpecError::at(spec, when_s, format!("bad slot `{when_s}`")))?;
                     (from, None)
                 }
             };
+            if kind == FaultKind::Crash {
+                if let Some(u) = until {
+                    return Err(SpecError::at(
+                        spec,
+                        when_s,
+                        format!(
+                            "crash is permanent and takes no `..until` window; \
+                             a crash that recovers is `reboot:{node}@{from}..{u}`"
+                        ),
+                    ));
+                }
+            }
+            if kind == FaultKind::Reboot && until.is_none() {
+                return Err(SpecError::at(
+                    spec,
+                    when_s,
+                    format!(
+                        "reboot needs a recovery slot: `reboot:{node}@{from}..until` \
+                         (a permanent outage is `crash:{node}@{from}`)"
+                    ),
+                ));
+            }
             if until.is_some_and(|u| u <= from) {
-                return Err(format!("empty fault window in `{entry}`"));
+                return Err(SpecError::at(
+                    spec,
+                    when_s,
+                    format!("empty fault window `{when_s}`"),
+                ));
             }
             plan.faults.push(NodeFault {
                 node: NodeId(node),
@@ -250,12 +458,7 @@ impl FaultPlan {
     pub fn spec(&self) -> String {
         self.faults
             .iter()
-            .map(|f| match (f.kind, f.until) {
-                (FaultKind::Crash, _) | (_, None) => {
-                    format!("{}:{}@{}", f.kind.tag(), f.node.0, f.from)
-                }
-                (_, Some(u)) => format!("{}:{}@{}..{}", f.kind.tag(), f.node.0, f.from, u),
-            })
+            .map(NodeFault::entry_spec)
             .collect::<Vec<_>>()
             .join(";")
     }
@@ -410,15 +613,122 @@ mod tests {
 
     #[test]
     fn spec_round_trips() {
-        let plan = FaultPlan::parse("crash:5@1000; deaf:3@200..800;mute:7@0..500").unwrap();
-        assert_eq!(plan.faults.len(), 3);
-        assert_eq!(plan.spec(), "crash:5@1000;deaf:3@200..800;mute:7@0..500");
+        let plan = FaultPlan::parse("crash:5@1000; deaf:3@200..800;mute:7@0..500;reboot:2@10..90")
+            .unwrap();
+        assert_eq!(plan.faults.len(), 4);
+        assert_eq!(
+            plan.spec(),
+            "crash:5@1000;deaf:3@200..800;mute:7@0..500;reboot:2@10..90"
+        );
         assert_eq!(FaultPlan::parse(&plan.spec()).unwrap(), plan);
         assert!(FaultPlan::parse("").unwrap().is_empty());
         assert!(FaultPlan::parse("bogus:1@2").is_err());
         assert!(FaultPlan::parse("deaf:1").is_err());
         assert!(FaultPlan::parse("deaf:1@9..9").is_err());
         assert!(FaultPlan::parse("deaf:x@9").is_err());
+    }
+
+    #[test]
+    fn parse_rejects_crash_window_pointing_at_reboot() {
+        let err = FaultPlan::parse("crash:5@100..900").unwrap_err();
+        assert!(
+            err.msg.contains("reboot:5@100..900"),
+            "error should spell out the reboot alternative: {err}"
+        );
+        let err = FaultPlan::parse("reboot:5@100").unwrap_err();
+        assert!(
+            err.msg.contains("recovery slot"),
+            "windowless reboot should demand a recovery slot: {err}"
+        );
+    }
+
+    #[test]
+    fn parse_errors_carry_spans() {
+        // The span points at the offending token, not the whole spec.
+        let spec = "deaf:3@200..800;mute:xx@0..500";
+        let err = FaultPlan::parse(spec).unwrap_err();
+        assert_eq!(&spec[err.offset..err.offset + err.len], "xx");
+        let spec = "crash:5@100..900";
+        let err = FaultPlan::parse(spec).unwrap_err();
+        assert_eq!(&spec[err.offset..err.offset + err.len], "100..900");
+        let spec = "deaf:1@9..9;crash:2@5";
+        let err = FaultPlan::parse(spec).unwrap_err();
+        assert_eq!(&spec[err.offset..err.offset + err.len], "9..9");
+        let spec = "wobble:1@2";
+        let err = FaultPlan::parse(spec).unwrap_err();
+        assert_eq!(&spec[err.offset..err.offset + err.len], "wobble");
+        assert!(err.to_string().starts_with("at 0..6:"), "{err}");
+    }
+
+    #[test]
+    fn reboot_blocks_both_paths_only_inside_window() {
+        let plan = FaultPlan::new().reboot(NodeId(4), 50, 120);
+        assert!(!plan.blocks_rx(NodeId(4), 49));
+        assert!(!plan.blocks_tx(NodeId(4), 49));
+        assert!(plan.blocks_rx(NodeId(4), 50));
+        assert!(plan.blocks_tx(NodeId(4), 119));
+        assert!(!plan.blocks_rx(NodeId(4), 120));
+        assert!(!plan.blocks_tx(NodeId(4), 120));
+        assert!(
+            !plan.crashed(NodeId(4), 60),
+            "a rebooting node is not crashed"
+        );
+        assert!(plan.impaired_during(NodeId(4), 0, 51));
+        assert!(!plan.impaired_during(NodeId(4), 120, 500));
+        assert!(plan.has_reboots());
+        assert!(!FaultPlan::new().crash(NodeId(1), 5).has_reboots());
+        assert_eq!(
+            plan.reboots_completing_at(120).collect::<Vec<_>>(),
+            vec![NodeId(4)]
+        );
+        assert_eq!(plan.reboots_completing_at(119).count(), 0);
+        assert_eq!(plan.next_reboot_completion(0), Some(120));
+        assert_eq!(plan.next_reboot_completion(120), Some(120));
+        assert_eq!(plan.next_reboot_completion(121), None);
+    }
+
+    #[test]
+    fn validate_rejects_bad_plans() {
+        // Out-of-range node.
+        let plan = FaultPlan::new().crash(NodeId(9), 10);
+        assert!(plan.validate(10).is_ok());
+        let err = plan.validate(9).unwrap_err();
+        assert!(err.contains("node 9") && err.contains("ids 0..=8"), "{err}");
+        // Overlapping same-kind windows on one node.
+        let plan = FaultPlan::new()
+            .deaf(NodeId(2), 10, 50)
+            .deaf(NodeId(2), 40, 80);
+        let err = plan.validate(10).unwrap_err();
+        assert!(err.contains("overlapping deaf windows on node 2"), "{err}");
+        // Two crashes on one node always overlap (both are forever).
+        let plan = FaultPlan::new().crash(NodeId(1), 10).crash(NodeId(1), 900);
+        assert!(plan.validate(10).is_err());
+        // Same node, different kinds: fine. Same kind, disjoint: fine.
+        assert!(FaultPlan::new()
+            .deaf(NodeId(2), 10, 50)
+            .mute(NodeId(2), 10, 50)
+            .deaf(NodeId(2), 50, 80)
+            .validate(10)
+            .is_ok());
+        // Reboot windows on distinct nodes: fine.
+        assert!(FaultPlan::new()
+            .reboot(NodeId(1), 10, 50)
+            .reboot(NodeId(2), 10, 50)
+            .validate(10)
+            .is_ok());
+        // A hand-built reboot with no recovery slot is rejected.
+        let plan = FaultPlan {
+            faults: vec![NodeFault {
+                node: NodeId(1),
+                kind: FaultKind::Reboot,
+                from: 10,
+                until: None,
+            }],
+        };
+        let err = plan.validate(10).unwrap_err();
+        assert!(err.contains("recovery slot"), "{err}");
+        // Empty plan is always valid.
+        assert!(FaultPlan::new().validate(0).is_ok());
     }
 
     #[test]

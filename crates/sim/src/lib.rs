@@ -37,7 +37,7 @@ pub mod wire;
 pub use capture::{zorzi_rao_capture, Capture};
 pub use channel::{Channel, Reception, Transmission};
 pub use engine::{Ctx, Engine, Station};
-pub use fault::{BurstChain, FaultKind, FaultPlan, GilbertElliott, NodeFault};
+pub use fault::{BurstChain, FaultKind, FaultPlan, GilbertElliott, NodeFault, SpecError};
 pub use frame::{Dest, Frame, FrameInfo, FrameKind};
 pub use ids::{MsgId, NodeId, Slot};
 pub use ledger::{AirtimeBreakdown, AirtimeByKind, AirtimeLedger};

@@ -60,7 +60,7 @@ impl MessageMetric {
 }
 
 /// Aggregate metrics of one simulation run.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RunMetrics {
     /// Messages in the population.
     pub messages: usize,

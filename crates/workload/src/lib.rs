@@ -19,6 +19,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod chaos;
+pub mod churn;
 pub mod mobility;
 pub mod observe;
 pub mod placement;
@@ -26,6 +28,11 @@ pub mod runner;
 pub mod scenario;
 pub mod traffic;
 
+pub use chaos::{
+    check_invariants, run_chaos, shrink, ChaosConfig, ChaosOutcome, ChaosRepro, ChaosSchedule,
+    Violation, ViolationKind,
+};
+pub use churn::{ChurnEvent, ChurnKind, ChurnPlan, EpochMetrics};
 pub use mobility::{MobilityConfig, RandomWaypoint};
 pub use observe::{
     collect_dwell, collect_metrics, DwellReport, PhaseTimings, RunManifest, StationDwell,
@@ -33,8 +40,8 @@ pub use observe::{
 pub use placement::uniform_square;
 pub use runner::{
     mean_group_metrics, run_many, run_many_jobs, run_many_seeded, run_mobile, run_mobile_naive,
-    run_one, run_one_naive, run_one_profiled, run_one_profiled_traced, run_one_traced,
-    run_one_traced_naive, RunResult, StallReport,
+    run_one, run_one_forensic, run_one_naive, run_one_profiled, run_one_profiled_traced,
+    run_one_traced, run_one_traced_naive, RunResult, StallReport,
 };
 pub use scenario::Scenario;
 pub use traffic::{TrafficGen, TrafficMix};

@@ -1,6 +1,7 @@
 //! The simulation runner: one seeded run, and parallel sweeps across
 //! seeds (the paper averages 100 runs per data point).
 
+use crate::churn::EpochMetrics;
 use crate::mobility::{MobilityConfig, RandomWaypoint};
 use crate::observe::{PhaseTimings, RunManifest};
 use crate::placement::uniform_square;
@@ -9,7 +10,7 @@ use crate::traffic::TrafficGen;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rmm_geom::Point;
-use rmm_mac::{FrameKindCounts, MacNode, Outcome, ProtocolKind};
+use rmm_mac::{FrameKindCounts, MacNode, Outcome, ProtocolKind, SentRecord};
 use rmm_sim::{AirtimeBreakdown, Engine, MsgId, NodeId, Slot, Trace};
 use rmm_stats::{MessageMetric, ProfileReport, RunMetrics};
 use serde::{Deserialize, Serialize};
@@ -91,9 +92,10 @@ fn check_stalls(
 /// Assembles ground-truth per-message delivery metrics from the senders'
 /// records and the receivers' ledgers. Only messages whose full timeout
 /// window fits inside the run are counted, so late arrivals don't read
-/// as spurious failures. Receivers impaired by the fault plan at any
-/// point in the message's service window count as unreachable, feeding
-/// the reachable-vs-faulted metric split.
+/// as spurious failures. Receivers impaired by the fault plan — or out
+/// of the group per the churn plan — at any point in the message's
+/// service window count as unreachable, feeding the
+/// reachable-vs-faulted metric split.
 fn collect_messages(nodes: &[MacNode], scenario: &Scenario) -> Vec<MessageMetric> {
     let cutoff = scenario.sim_slots.saturating_sub(scenario.timing.timeout);
     let mut messages = Vec::new();
@@ -107,7 +109,9 @@ fn collect_messages(nodes: &[MacNode], scenario: &Scenario) -> Vec<MessageMetric
             for r in &rec.intended {
                 let got = nodes[r.index()].received().contains(&rec.msg);
                 delivered += usize::from(got);
-                if !scenario.faults.impaired_during(*r, rec.arrival, window_end) {
+                if !scenario.faults.impaired_during(*r, rec.arrival, window_end)
+                    && scenario.churn.member_during(*r, rec.arrival, window_end)
+                {
                     reachable += 1;
                     delivered_reachable += usize::from(got);
                 }
@@ -156,6 +160,9 @@ pub struct RunResult {
     /// Liveness-watchdog findings (empty unless `scenario.stall_window`
     /// is set and some sender made no forward progress for a window).
     pub stalls: Vec<StallReport>,
+    /// Group-delivery metrics split by membership epoch (empty unless
+    /// `scenario.churn` schedules membership changes).
+    pub churn_epochs: Vec<EpochMetrics>,
     /// Run provenance: scenario, protocol, seed, and wall-clock phases.
     pub manifest: RunManifest,
 }
@@ -164,14 +171,14 @@ pub struct RunResult {
 /// engine's event-horizon fast path (bit-exact with naive stepping; see
 /// [`run_one_naive`]).
 pub fn run_one(scenario: &Scenario, protocol: ProtocolKind, seed: u64) -> RunResult {
-    run_one_impl(scenario, protocol, seed, false, true, false).0
+    run_one_impl(scenario, protocol, seed, false, true, false, false).0
 }
 
 /// [`run_one`] with naive slot-by-slot stepping. Reference
 /// implementation for the differential determinism suite; produces a
 /// byte-identical result (modulo wall-clock provenance).
 pub fn run_one_naive(scenario: &Scenario, protocol: ProtocolKind, seed: u64) -> RunResult {
-    run_one_impl(scenario, protocol, seed, false, false, false).0
+    run_one_impl(scenario, protocol, seed, false, false, false, false).0
 }
 
 /// [`run_one`] with event tracing enabled: returns the result together
@@ -182,7 +189,7 @@ pub fn run_one_traced(
     protocol: ProtocolKind,
     seed: u64,
 ) -> (RunResult, Trace) {
-    let (result, trace, _) = run_one_impl(scenario, protocol, seed, true, true, false);
+    let (result, trace, _, _) = run_one_impl(scenario, protocol, seed, true, true, false, false);
     (result, trace.expect("tracing was enabled"))
 }
 
@@ -193,7 +200,7 @@ pub fn run_one_traced_naive(
     protocol: ProtocolKind,
     seed: u64,
 ) -> (RunResult, Trace) {
-    let (result, trace, _) = run_one_impl(scenario, protocol, seed, true, false, false);
+    let (result, trace, _, _) = run_one_impl(scenario, protocol, seed, true, false, false, false);
     (result, trace.expect("tracing was enabled"))
 }
 
@@ -207,7 +214,7 @@ pub fn run_one_profiled(
     protocol: ProtocolKind,
     seed: u64,
 ) -> (RunResult, ProfileReport) {
-    let (result, _, profile) = run_one_impl(scenario, protocol, seed, false, true, true);
+    let (result, _, profile, _) = run_one_impl(scenario, protocol, seed, false, true, true, false);
     (result, profile.expect("profiling was enabled"))
 }
 
@@ -220,12 +227,29 @@ pub fn run_one_profiled_traced(
     protocol: ProtocolKind,
     seed: u64,
 ) -> (RunResult, ProfileReport, Trace) {
-    let (result, trace, profile) = run_one_impl(scenario, protocol, seed, true, true, true);
+    let (result, trace, profile, _) =
+        run_one_impl(scenario, protocol, seed, true, true, true, false);
     (
         result,
         profile.expect("profiling was enabled"),
         trace.expect("tracing was enabled"),
     )
+}
+
+/// One run with everything an invariant checker needs below the metric
+/// aggregation: the result, the full protocol event trace, and every
+/// sender's raw service records (`record.msg.src` identifies the
+/// sender). `fast` selects the event-horizon fast path or the naive
+/// reference stepper — the chaos harness runs both and diffs them.
+pub fn run_one_forensic(
+    scenario: &Scenario,
+    protocol: ProtocolKind,
+    seed: u64,
+    fast: bool,
+) -> (RunResult, Trace, Vec<SentRecord>) {
+    let (result, trace, _, records) =
+        run_one_impl(scenario, protocol, seed, true, fast, false, true);
+    (result, trace.expect("tracing was enabled"), records)
 }
 
 fn run_one_impl(
@@ -235,7 +259,13 @@ fn run_one_impl(
     traced: bool,
     fast: bool,
     profiled: bool,
-) -> (RunResult, Option<Trace>, Option<ProfileReport>) {
+    forensic: bool,
+) -> (
+    RunResult,
+    Option<Trace>,
+    Option<ProfileReport>,
+    Vec<SentRecord>,
+) {
     let t_setup = Instant::now();
     let topo = uniform_square(scenario.n_nodes, scenario.radius, seed);
     let mean_degree = topo.mean_degree();
@@ -290,6 +320,9 @@ fn run_one_impl(
     // lets `advance_to` fast-forward the dead air in between.
     for t in 0..scenario.sim_slots {
         traffic.tick(engine.topology(), t, &mut arrivals);
+        // Membership churn rewrites the arrival list *after* the traffic
+        // draws, so the RNG stream is identical with or without a plan.
+        scenario.churn.filter_arrivals(t, &mut arrivals);
         if fast {
             if !arrivals.is_empty() {
                 engine.advance_to(&mut nodes, t);
@@ -334,6 +367,17 @@ fn run_one_impl(
     for node in &nodes {
         frames.add(&node.counters().sent_by_kind);
     }
+    let records = if forensic {
+        nodes
+            .iter()
+            .flat_map(|n| n.records().iter().cloned())
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let churn_epochs = scenario
+        .churn
+        .epoch_metrics(&messages, scenario.reliability_threshold);
     let collect_us = t_collect.elapsed().as_micros() as u64;
     let result = RunResult {
         seed,
@@ -346,6 +390,7 @@ fn run_one_impl(
         airtime: engine.channel().ledger().breakdown(scenario.sim_slots),
         frames,
         stalls,
+        churn_epochs,
         manifest: RunManifest {
             scenario: scenario.clone(),
             protocol,
@@ -360,7 +405,7 @@ fn run_one_impl(
         },
     };
     let profile = engine.take_profile();
-    (result, engine.take_trace(), profile)
+    (result, engine.take_trace(), profile, records)
 }
 
 /// Executes one seeded run with random-waypoint mobility and periodic
@@ -454,6 +499,7 @@ fn run_mobile_impl(
         // Requests are addressed to the neighbors the sender *believes*
         // it has — the beacon view, not the ground truth.
         traffic.tick(&beacon_topo, t, &mut arrivals);
+        scenario.churn.filter_arrivals(t, &mut arrivals);
         if fast && !arrivals.is_empty() {
             engine.advance_to(&mut nodes, t);
         }
@@ -488,6 +534,9 @@ fn run_mobile_impl(
     for node in &nodes {
         frames.add(&node.counters().sent_by_kind);
     }
+    let churn_epochs = scenario
+        .churn
+        .epoch_metrics(&messages, scenario.reliability_threshold);
     let collect_us = t_collect.elapsed().as_micros() as u64;
     RunResult {
         seed,
@@ -500,6 +549,7 @@ fn run_mobile_impl(
         airtime: engine.channel().ledger().breakdown(scenario.sim_slots),
         frames,
         stalls,
+        churn_epochs,
         manifest: RunManifest {
             scenario: scenario.clone(),
             protocol,

@@ -1,5 +1,6 @@
 //! Scenario configuration (the paper's Table 2, as a struct).
 
+use crate::churn::ChurnPlan;
 use crate::traffic::TrafficMix;
 use rmm_mac::MacTiming;
 use rmm_sim::{Capture, FaultPlan, GilbertElliott};
@@ -45,6 +46,10 @@ pub struct Scenario {
     /// [`StallReport`](crate::StallReport) for wedged ones. `None`
     /// disables the watchdog.
     pub stall_window: Option<u64>,
+    /// Scheduled group-membership churn (leave / rejoin). Empty by
+    /// default; an empty plan leaves the run bit-identical to a
+    /// churn-free build.
+    pub churn: ChurnPlan,
 }
 
 impl Default for Scenario {
@@ -64,6 +69,7 @@ impl Default for Scenario {
             faults: FaultPlan::new(),
             burst: None,
             stall_window: None,
+            churn: ChurnPlan::new(),
         }
     }
 }
@@ -122,6 +128,12 @@ impl Scenario {
         self.stall_window = Some(window);
         self
     }
+
+    /// Scenario with a group-membership churn plan.
+    pub fn with_churn(mut self, churn: ChurnPlan) -> Self {
+        self.churn = churn;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -146,6 +158,7 @@ mod tests {
         assert!(s.faults.is_empty());
         assert!(s.burst.is_none());
         assert!(s.stall_window.is_none());
+        assert!(s.churn.is_empty());
     }
 
     #[test]
@@ -171,7 +184,8 @@ mod tests {
         let s = Scenario::default()
             .with_faults(FaultPlan::parse("crash:5@1000;deaf:3@200..800").unwrap())
             .with_burst(GilbertElliott::new(0.05, 0.25))
-            .with_stall_window(500);
+            .with_stall_window(500)
+            .with_churn(ChurnPlan::parse("leave:3@500;join:3@900").unwrap());
         let json = serde_json::to_string(&s).unwrap();
         let back: Scenario = serde_json::from_str(&json).unwrap();
         assert_eq!(s, back);

@@ -1,0 +1,104 @@
+//! Integration tests for the chaos harness.
+//!
+//! Three angles: healthy runs satisfy every invariant for every
+//! protocol (so a chaos failure always means a real schedule-induced
+//! defect, not checker noise); generated schedules with the default
+//! bounded-retry timing stay clean too (the harness's false-positive
+//! guard); and the committed repro corpus under `tests/chaos_corpus/`
+//! keeps replaying to the exact violation set it was minimized to.
+
+use proptest::prelude::*;
+use rmm_mac::ProtocolKind;
+use rmm_workload::{check_invariants, ChaosRepro, ChaosSchedule, Scenario};
+
+const ALL_PROTOCOLS: [ProtocolKind; 8] = [
+    ProtocolKind::Ieee80211,
+    ProtocolKind::TangGerla,
+    ProtocolKind::Bsma,
+    ProtocolKind::Bmw,
+    ProtocolKind::Bmmm,
+    ProtocolKind::Lamm,
+    ProtocolKind::LeaderBased,
+    ProtocolKind::BmmmUncoordinated,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// A fault-free, churn-free run must pass every invariant — stall,
+    /// termination, retry budget, membership, airtime partition, and
+    /// fast-vs-naive determinism — for any protocol and seed.
+    #[test]
+    fn healthy_runs_satisfy_every_invariant(
+        seed in 0u64..1 << 32,
+        pidx in 0usize..ALL_PROTOCOLS.len(),
+    ) {
+        let scenario = Scenario {
+            n_nodes: 16,
+            sim_slots: 1_500,
+            n_runs: 1,
+            msg_rate: 2e-3,
+            ..Scenario::default()
+        }
+        .with_stall_window(600);
+        let protocol = ALL_PROTOCOLS[pidx];
+        let violations = check_invariants(&scenario, protocol, seed);
+        prop_assert!(
+            violations.is_empty(),
+            "{protocol:?} seed {seed}: {violations:?}"
+        );
+    }
+
+    /// With the default bounded-retry timing, even faulted + churned
+    /// schedules keep every invariant: budgets cap the retries a dead
+    /// receiver can soak up, so no sender stalls and every message
+    /// resolves. This is the false-positive guard for the CI chaos gate.
+    #[test]
+    fn generated_schedules_stay_clean_under_bounded_retries(
+        seed in 0u64..1 << 32,
+        pidx in 0usize..ALL_PROTOCOLS.len(),
+    ) {
+        let base = Scenario {
+            n_nodes: 16,
+            sim_slots: 1_500,
+            n_runs: 1,
+            msg_rate: 2e-3,
+            ..Scenario::default()
+        };
+        let schedule = ChaosSchedule::generate(base.n_nodes, base.sim_slots, seed);
+        let protocol = ALL_PROTOCOLS[pidx];
+        let violations = check_invariants(&schedule.apply(&base), protocol, seed);
+        prop_assert!(
+            violations.is_empty(),
+            "{protocol:?} seed {seed} schedule {schedule:?}: {violations:?}"
+        );
+    }
+}
+
+/// Every committed repro in `tests/chaos_corpus/` must still replay to
+/// exactly the violation kinds it was shrunk to. A drift here means a
+/// behavior change reached a previously-minimized failure.
+#[test]
+fn corpus_repros_replay_to_their_recorded_violations() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/chaos_corpus");
+    let mut replayed = 0usize;
+    for entry in std::fs::read_dir(&dir).expect("corpus directory exists") {
+        let path = entry.expect("corpus entry readable").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("json") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).expect("corpus file readable");
+        let repro: ChaosRepro = serde_json::from_str(&text)
+            .unwrap_or_else(|e| panic!("{}: not a ChaosRepro: {e}", path.display()));
+        let found = repro
+            .replay()
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert!(
+            !found.is_empty(),
+            "{}: repro replayed clean",
+            path.display()
+        );
+        replayed += 1;
+    }
+    assert!(replayed > 0, "chaos corpus is empty");
+}

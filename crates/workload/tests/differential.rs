@@ -9,11 +9,11 @@
 //! networks, and under mobility.
 
 use rmm_mac::ProtocolKind;
-use rmm_sim::{FaultPlan, GilbertElliott, Trace, TraceEvent};
+use rmm_sim::{FaultPlan, GilbertElliott, NodeId, Trace, TraceEvent};
 use rmm_workload::{
     collect_metrics, run_mobile, run_mobile_naive, run_one, run_one_profiled,
-    run_one_profiled_traced, run_one_traced, run_one_traced_naive, MobilityConfig, PhaseTimings,
-    RunResult, Scenario,
+    run_one_profiled_traced, run_one_traced, run_one_traced_naive, ChurnPlan, MobilityConfig,
+    PhaseTimings, RunResult, Scenario,
 };
 
 const SEEDS: [u64; 5] = [1, 2, 3, 5, 8];
@@ -170,6 +170,91 @@ fn fast_stepping_is_bit_exact_under_faults() {
         faulted_receiver_seen,
         "no message ever had a faulted receiver"
     );
+}
+
+/// Reboot faults and membership churn are the chaos harness's pressure
+/// points on the fast path: the engine must land on every
+/// reboot-completion slot to cold-reset the MAC, and the membership
+/// filter rewrites receiver lists at churn boundaries — in both
+/// stepping modes, identically.
+#[test]
+fn fast_stepping_is_bit_exact_under_reboot_and_churn() {
+    let timing = rmm_mac::MacTiming {
+        timeout: 300,
+        ..Default::default()
+    };
+    let scenario = Scenario {
+        n_nodes: 25,
+        sim_slots: 2_500,
+        n_runs: 1,
+        msg_rate: 2e-3,
+        timing,
+        ..Scenario::default()
+    }
+    .with_faults(
+        FaultPlan::new()
+            .reboot(NodeId(3), 300, 900)
+            .reboot(NodeId(9), 1_200, 1_900)
+            .crash(NodeId(15), 800),
+    )
+    .with_churn(
+        ChurnPlan::new()
+            .leave(NodeId(5), 600)
+            .join(NodeId(5), 1_600)
+            .leave(NodeId(12), 1_000),
+    )
+    .with_stall_window(600);
+    let mut epoch_traffic = 0usize;
+    for protocol in ALL_PROTOCOLS {
+        for seed in [51, 52] {
+            let (result, _) = assert_bit_exact(&scenario, protocol, seed, "reboot+churn");
+            assert!(!result.churn_epochs.is_empty(), "churn produced no epochs");
+            epoch_traffic += result
+                .churn_epochs
+                .iter()
+                .map(|e| e.group_metrics.messages)
+                .sum::<usize>();
+        }
+    }
+    assert!(epoch_traffic > 0, "churn epochs collected no messages");
+}
+
+/// Plumbing inertness: a fault/churn plan whose events all lie beyond
+/// the simulated horizon must not perturb the run at all — the
+/// membership filter and fault hooks draw no RNG of their own. Only the
+/// provenance manifest (which embeds the scenario) and the epoch table
+/// (which follows the plan) may differ.
+#[test]
+fn armed_but_idle_chaos_plumbing_is_rng_inert() {
+    let base = Scenario {
+        n_nodes: 25,
+        sim_slots: 1_500,
+        n_runs: 1,
+        msg_rate: 2e-3,
+        ..Scenario::default()
+    };
+    let armed = base
+        .clone()
+        .with_faults(FaultPlan::new().deaf(NodeId(4), 100_000, 120_000))
+        .with_churn(
+            ChurnPlan::new()
+                .leave(NodeId(6), 100_000)
+                .join(NodeId(6), 120_000),
+        );
+    for protocol in ALL_PROTOCOLS {
+        for seed in [61, 62] {
+            let mut plain = run_one(&base, protocol, seed);
+            let mut idle = run_one(&armed, protocol, seed);
+            plain.manifest.wall_clock = PhaseTimings::default();
+            idle.manifest = plain.manifest.clone();
+            idle.churn_epochs = plain.churn_epochs.clone();
+            assert_eq!(
+                serde_json::to_string(&plain).expect("RunResult serializes"),
+                serde_json::to_string(&idle).expect("RunResult serializes"),
+                "[inert] {protocol:?} seed {seed}: idle plan perturbed the run"
+            );
+        }
+    }
 }
 
 /// The engine's phase profiler is a pure observer: it draws no RNG and
