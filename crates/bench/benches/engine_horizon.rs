@@ -100,6 +100,7 @@ fn drive(spec: &Spec, topo: &Topology, plan: &[(Slot, Arrival)], seed: u64, fast
         for (t, a) in plan {
             engine.advance_to(&mut nodes, *t);
             nodes[a.node.index()].enqueue(a.kind, a.receivers.clone(), *t);
+            engine.wake(a.node);
         }
         engine.advance_to(&mut nodes, scenario.sim_slots);
     } else {
@@ -135,10 +136,7 @@ fn drive(spec: &Spec, topo: &Topology, plan: &[(Slot, Arrival)], seed: u64, fast
     }
 }
 
-fn median(mut xs: Vec<f64>) -> f64 {
-    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-    xs[xs.len() / 2]
-}
+use rmm_bench::{median, percentile};
 
 #[derive(Debug, Serialize)]
 struct ScenarioReport {
@@ -147,8 +145,12 @@ struct ScenarioReport {
     sim_slots: u64,
     msg_rate: f64,
     reps: usize,
+    /// Median ns/slot across reps (the speedup and CI gates key on the
+    /// medians; p95 is recorded so single-rep noise can't hide drift).
     naive_ns_per_slot: f64,
     fast_ns_per_slot: f64,
+    naive_p95_ns_per_slot: f64,
+    fast_p95_ns_per_slot: f64,
     speedup: f64,
     slots_skipped_ratio: f64,
     digests_match: bool,
@@ -182,8 +184,8 @@ fn main() {
             fast_ns.push(fast.ns_per_slot);
             skipped_ratio = fast.skipped_ratio;
         }
-        let naive_med = median(naive_ns);
-        let fast_med = median(fast_ns);
+        let naive_med = median(&naive_ns);
+        let fast_med = median(&fast_ns);
         let report = ScenarioReport {
             name: spec.name,
             nodes: spec.scenario.n_nodes,
@@ -192,6 +194,8 @@ fn main() {
             reps,
             naive_ns_per_slot: naive_med,
             fast_ns_per_slot: fast_med,
+            naive_p95_ns_per_slot: percentile(&naive_ns, 0.95),
+            fast_p95_ns_per_slot: percentile(&fast_ns, 0.95),
             speedup: naive_med / fast_med,
             slots_skipped_ratio: skipped_ratio,
             digests_match,

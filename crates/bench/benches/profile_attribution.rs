@@ -49,10 +49,7 @@ fn specs(smoke: bool) -> Vec<Spec> {
     ]
 }
 
-fn median(mut xs: Vec<f64>) -> f64 {
-    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-    xs[xs.len() / 2]
-}
+use rmm_bench::{median, percentile};
 
 #[derive(Debug, Serialize)]
 struct PhaseRow {
@@ -73,7 +70,14 @@ struct ScenarioReport {
     plain_ms: f64,
     /// Median wall-clock of the profiled run, milliseconds.
     profiled_ms: f64,
-    /// Profiling cost relative to the plain run, percent.
+    /// 95th-percentile wall-clock of the plain run, milliseconds
+    /// (nearest rank — with few reps this is the worst rep, so
+    /// single-rep noise spikes are visible instead of folded into the
+    /// median).
+    plain_p95_ms: f64,
+    /// 95th-percentile wall-clock of the profiled run, milliseconds.
+    profiled_p95_ms: f64,
+    /// Profiling cost relative to the plain run, percent (of medians).
     overhead_pct: f64,
     /// Per-phase attribution, summed over the profiled reps.
     phases: Vec<PhaseRow>,
@@ -120,8 +124,8 @@ fn main() {
             merged.merge(&report);
             airtime = Some(profiled.airtime);
         }
-        let plain_med = median(plain_ms);
-        let profiled_med = median(profiled_ms);
+        let plain_med = median(&plain_ms);
+        let profiled_med = median(&profiled_ms);
         let phases = merged
             .phases
             .iter()
@@ -140,6 +144,8 @@ fn main() {
             reps,
             plain_ms: plain_med,
             profiled_ms: profiled_med,
+            plain_p95_ms: percentile(&plain_ms, 0.95),
+            profiled_p95_ms: percentile(&profiled_ms, 0.95),
             overhead_pct: 100.0 * (profiled_med - plain_med) / plain_med.max(1e-9),
             phases,
             airtime: airtime.expect("at least one rep"),

@@ -44,10 +44,7 @@ fn digest(results: &[RunResult]) -> String {
     hex(h.finish())
 }
 
-fn median(mut xs: Vec<f64>) -> f64 {
-    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-    xs[xs.len() / 2]
-}
+use rmm_bench::median;
 
 #[derive(Debug, Serialize)]
 struct Report {
@@ -61,7 +58,14 @@ struct Report {
     reps: usize,
     serial_ms: f64,
     parallel_ms: f64,
+    /// Serial/parallel wall-clock ratio. On a single-core host this is
+    /// not a parallel speedup at all — both configurations run the same
+    /// one-worker schedule — so consumers must gate on `single_core`
+    /// before reading anything into it.
     speedup: f64,
+    /// True when the host exposes only one core: the speedup column is
+    /// pure scheduling noise there, and perf gates should skip it.
+    single_core: bool,
     digests_match: bool,
 }
 
@@ -95,8 +99,8 @@ fn main() {
         digests_match &= digest(&parallel) == baseline_digest;
     }
 
-    let serial_med = median(serial_ms);
-    let parallel_med = median(parallel_ms);
+    let serial_med = median(&serial_ms);
+    let parallel_med = median(&parallel_ms);
     let report = Report {
         bench: "sweep_throughput",
         smoke,
@@ -109,6 +113,7 @@ fn main() {
         serial_ms: serial_med,
         parallel_ms: parallel_med,
         speedup: serial_med / parallel_med,
+        single_core: cores == 1,
         digests_match,
     };
     eprintln!(
@@ -121,6 +126,11 @@ fn main() {
         report.speedup,
         report.digests_match,
     );
+    if report.single_core {
+        eprintln!(
+            "[sweep_throughput] single-core host: the speedup column is noise, not parallel scaling"
+        );
+    }
     assert!(
         report.digests_match,
         "parallel sweep diverged from the serial baseline"

@@ -42,6 +42,20 @@ pub fn host_meta() -> HostMeta {
     }
 }
 
+/// Nearest-rank percentile over a copy of `xs` (`p` in `[0, 1]`).
+/// Panics on an empty slice or non-finite values.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    let mut xs = xs.to_vec();
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let rank = ((xs.len() as f64 * p).ceil() as usize).clamp(1, xs.len());
+    xs[rank - 1]
+}
+
+/// Median as the 50th nearest-rank percentile.
+pub fn median(xs: &[f64]) -> f64 {
+    percentile(xs, 0.5)
+}
+
 /// Bench-scale scenario: the paper's Table 2 parameters with fewer slots
 /// and runs, sized to keep `cargo bench` minutes-scale on one core.
 pub fn bench_scenario() -> Scenario {

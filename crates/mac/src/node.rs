@@ -12,9 +12,10 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use rmm_geom::Point;
 use rmm_sim::{
-    Ctx, Dest, Frame, FrameInfo, FrameKind, MsgId, NodeId, Slot, Station, Topology, TraceEvent,
+    Ctx, Dest, Frame, FrameInfo, FrameKind, MsgId, MsgSet, NodeId, Slot, Station, Topology,
+    TraceEvent,
 };
-use std::collections::{HashSet, VecDeque};
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 /// Receiver-side wait-for-data state (BSMA): after answering a group RTS
@@ -45,7 +46,7 @@ pub struct NodeCore {
     pub nav: Nav,
     /// End of this station's own transmission, if one is on the air.
     pub tx_until: Slot,
-    received: HashSet<MsgId>,
+    received: MsgSet,
     wait_data: Vec<WaitData>,
     /// Running counters.
     pub counters: NodeCounters,
@@ -70,7 +71,7 @@ impl NodeCore {
     }
 
     /// Data messages this station has decoded.
-    pub fn received(&self) -> &HashSet<MsgId> {
+    pub fn received(&self) -> &MsgSet {
         &self.received
     }
 
@@ -143,7 +144,7 @@ impl MacNode {
                 rng: SmallRng::seed_from_u64(seed ^ (u64::from(id.0) << 32) ^ 0x9e37_79b9),
                 nav: Nav::new(),
                 tx_until: 0,
-                received: HashSet::new(),
+                received: MsgSet::default(),
                 wait_data: Vec::new(),
                 counters: NodeCounters::default(),
                 records: Vec::new(),
@@ -202,7 +203,7 @@ impl MacNode {
     }
 
     /// Data messages this station decoded.
-    pub fn received(&self) -> &HashSet<MsgId> {
+    pub fn received(&self) -> &MsgSet {
         &self.core.received
     }
 
@@ -671,16 +672,21 @@ impl MacNode {
     /// Replays the per-slot effects of slots the engine fast-forwarded
     /// over (`next_poll..now`).
     ///
-    /// The engine only skips slots while the channel is globally
-    /// quiescent and never skips past this station's own wakeup hint, so
-    /// inside the gap: physical carrier sense read idle everywhere, no
-    /// frame was delivered, no wait-for-data deadline, service timeout
-    /// or FSM deadline fell due, and an idle station with queued work
-    /// was never left waiting. The only per-slot state that evolved is
-    /// the contention countdown — busy (frozen) while the NAV still had
-    /// a reservation, idle polls after it lapsed — which this replays
-    /// exactly.
-    fn catch_up(&mut self, now: Slot) {
+    /// The engine skips a slot for this station only when nothing
+    /// observable happened in it: no frame was delivered, no
+    /// wait-for-data deadline or service timeout fell due, an idle
+    /// station with queued work was never left waiting, and the medium
+    /// was busy only while the station was a frozen contender — those
+    /// slots arrive as `busy_through` (the engine's
+    /// [`rmm_sim::Ctx::frozen_through`] watermark). The only per-slot
+    /// state that evolved is the contention countdown: frozen while the
+    /// medium was busy (which covers the station's own transmissions)
+    /// or the NAV still had a reservation, idle polls afterwards. Both
+    /// freeze prefixes are contiguous from the gap's start — the engine
+    /// dispatches at the first busy slot after any skipped idle slot —
+    /// so the gap replays as one freeze followed by pure idle polls,
+    /// exactly as naive stepping would have applied them.
+    fn catch_up(&mut self, now: Slot, busy_through: Slot) {
         let start = self.next_poll;
         if start >= now {
             return;
@@ -691,10 +697,16 @@ impl MacNode {
         if !a.contending {
             return;
         }
-        debug_assert!(self.core.tx_until <= start, "skipped while transmitting");
-        // NAV reservations are static during the gap: the station yields
-        // on every gap slot before `clear`, then sees pure idle.
-        let clear = self.core.nav.next_idle(start).min(now);
+        debug_assert!(
+            busy_through == 0 || busy_through >= start,
+            "frozen watermark predates the gap"
+        );
+        let medium = if busy_through >= start {
+            busy_through + 1
+        } else {
+            start
+        };
+        let clear = self.core.nav.next_idle(start).max(medium).min(now);
         if clear > start {
             a.contention.freeze();
         }
@@ -704,7 +716,7 @@ impl MacNode {
 
     fn slot(&mut self, ctx: &mut Ctx<'_>) {
         let now = ctx.now;
-        self.catch_up(now);
+        self.catch_up(now, ctx.frozen_through);
         self.next_poll = now + 1;
         self.flush_wait_data(ctx);
 
@@ -753,16 +765,56 @@ impl MacNode {
 
 impl Station for MacNode {
     fn on_receive(&mut self, frame: &Frame, _captured: bool, ctx: &mut Ctx<'_>) {
-        // A reception at slot `s` needs a transmission ending at `s`, so
-        // the channel was non-quiescent right up to `s` and the engine
-        // cannot have skipped into this slot: there is never a gap to
-        // replay here.
-        debug_assert!(self.next_poll >= ctx.now, "reception after a skipped gap");
+        // Under selective dispatch the engine may not have polled this
+        // station for a while (its medium stayed idle and nothing fell
+        // due), so replay the gap before the frame lands: the reception
+        // can change contention state that the skipped idle slots
+        // already advanced.
+        if self.next_poll < ctx.now {
+            self.catch_up(ctx.now, ctx.frozen_through);
+            self.next_poll = ctx.now;
+        }
         self.handle_receive(frame, ctx);
     }
 
     fn on_slot(&mut self, ctx: &mut Ctx<'_>) {
         self.slot(ctx);
+    }
+
+    /// Physical carrier sense only matters while a contention countdown
+    /// is running: every other consumer of `ctx.busy` in [`MacNode`]
+    /// derives busyness from the NAV or its own half-duplex state, which
+    /// evolve through receptions and deadlines, not the medium bit. This
+    /// lets the engine's selective dispatcher skip idle stations on
+    /// slots where only the medium changed.
+    fn carrier_sensitive(&self) -> bool {
+        self.active.as_ref().is_some_and(|a| a.contending)
+    }
+
+    /// A busy medium can only freeze a contention countdown — it never
+    /// changes any other per-slot decision in [`MacNode::slot`] — so the
+    /// engine may skip busy slots entirely and let
+    /// [`MacNode::catch_up`] replay the freeze from the engine's
+    /// watermark.
+    fn busy_freezes(&self) -> bool {
+        self.active.as_ref().is_some_and(|a| a.contending)
+    }
+
+    /// Deadlines that fire regardless of the medium: receiver-side
+    /// WAIT_FOR_DATA expiries and the in-service request's timeout.
+    /// These bound how far the engine may skip a frozen contender.
+    fn next_deadline(&self) -> Option<Slot> {
+        let mut due: Option<Slot> = None;
+        let mut consider = |slot: Slot| {
+            due = Some(due.map_or(slot, |d: Slot| d.min(slot)));
+        };
+        for w in &self.core.wait_data {
+            consider(w.deadline);
+        }
+        if let Some(a) = &self.active {
+            consider(a.req.arrival + self.core.timing.timeout);
+        }
+        due
     }
 
     /// Crash-recovery cold reset ([`rmm_sim::FaultKind::Reboot`]): the

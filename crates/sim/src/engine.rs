@@ -12,6 +12,24 @@
 //!
 //! Stations starting in the same slot therefore cannot see each other —
 //! the canonical slotted-CSMA collision mechanism.
+//!
+//! # Hot-path layout
+//!
+//! The per-station state the engine consults every slot lives in
+//! contiguous struct-of-arrays form: reception/fault/sensitivity flags
+//! are word-packed bitsets, wakeup hints and deadlines are flat `Slot`
+//! arrays, and carrier sense is an O(1) watermark compare served by the
+//! channel. On the event-horizon path ([`Engine::advance_to`]) these
+//! arrays form a dispatch filter: a station's `on_slot` runs only when
+//! it received a frame, its busy medium can change it (carrier-sensitive
+//! and not a pure freeze), or its own hinted wakeup or deadline slot
+//! arrived — the same slots at which naive stepping can observably
+//! affect it, so the run stays bit-exact. Stations whose only response
+//! to a busy medium is freezing a contention countdown
+//! ([`Station::busy_freezes`]) are skipped through busy bursts entirely;
+//! the engine records the skipped busy prefix in
+//! [`Ctx::frozen_through`] so the station replays the freeze exactly at
+//! its next dispatch.
 
 use crate::capture::Capture;
 use crate::channel::{Channel, SlotOutcome};
@@ -25,6 +43,25 @@ use rand::SeedableRng;
 use rmm_stats::{Phase, ProfileReport, Profiler};
 use std::time::Instant;
 
+#[inline]
+fn bit(words: &[u64], i: usize) -> bool {
+    words[i >> 6] & (1 << (i & 63)) != 0
+}
+
+#[inline]
+fn set_bit(words: &mut [u64], i: usize) {
+    words[i >> 6] |= 1 << (i & 63);
+}
+
+#[inline]
+fn assign_bit(words: &mut [u64], i: usize, v: bool) {
+    if v {
+        words[i >> 6] |= 1 << (i & 63);
+    } else {
+        words[i >> 6] &= !(1 << (i & 63));
+    }
+}
+
 /// Per-call context handed to stations.
 pub struct Ctx<'a> {
     /// Current slot.
@@ -34,6 +71,15 @@ pub struct Ctx<'a> {
     /// Carrier sense: was the medium busy at this station during the
     /// previous slot?
     pub busy: bool,
+    /// Frozen-skip watermark (see [`Station::busy_freezes`]): the engine
+    /// skipped this station's `on_slot` for every slot of its current
+    /// catch-up gap up to and including `frozen_through` while the
+    /// station's medium was busy; `0` means no frozen slots are pending.
+    /// The skipped busy slots always form a contiguous prefix of the gap
+    /// (the dispatcher never skips a busy slot that follows a skipped
+    /// idle slot), so a gap replays as one freeze followed by idle
+    /// polls.
+    pub frozen_through: Slot,
     out: &'a mut Vec<Frame>,
     sink: Option<&'a mut dyn EventSink>,
 }
@@ -81,12 +127,48 @@ pub trait Station {
     /// necessary is always safe; returning a later one (or `None` while
     /// a countdown is pending) breaks the protocol, because
     /// [`Engine::advance_to`] skips the station's `on_slot` for every
-    /// slot before the earliest hint while the channel is quiescent.
+    /// slot before the earliest hint while the station's medium stays
+    /// idle and nothing is delivered to it.
     ///
     /// The default — wake every slot — makes fast-forwarding a no-op for
     /// stations that don't opt in, so it is always bit-exact.
     fn next_wakeup(&self, now: Slot) -> Option<Slot> {
         Some(now + 1)
+    }
+
+    /// Whether a busy medium (carrier sense) can change this station's
+    /// `on_slot` behaviour right now. Stations that are not currently
+    /// counting down a contention window may return `false`, letting the
+    /// event-horizon dispatcher skip their `on_slot` on slots where only
+    /// the medium changed. Returning `true` is always safe (the default);
+    /// returning `false` while the station would actually react to a
+    /// busy medium breaks bit-exactness with naive stepping.
+    fn carrier_sensitive(&self) -> bool {
+        true
+    }
+
+    /// Whether a busy medium merely *freezes* this station instead of
+    /// changing it: while `true` (and the station is carrier-sensitive),
+    /// the event-horizon dispatcher may skip the station's `on_slot` on
+    /// slots whose only stimulus is a busy medium, recording them in
+    /// [`Ctx::frozen_through`] for the station to replay at its next
+    /// dispatch. Stations returning `true` must reconstruct the skipped
+    /// busy slots from that watermark exactly as if they had been
+    /// stepped through them (a frozen contention countdown is the
+    /// canonical case), and must report medium-independent deadlines via
+    /// [`Station::next_deadline`]. Default `false`: busy slots always
+    /// dispatch, which is always bit-exact.
+    fn busy_freezes(&self) -> bool {
+        false
+    }
+
+    /// The earliest absolute slot at which this station must run even if
+    /// its medium is busy — service timeouts and receiver-side deadlines
+    /// that fire regardless of carrier state. Only consulted while the
+    /// station opts into [`Station::busy_freezes`]; a frozen skip never
+    /// crosses this slot. `None` (the default) means no such deadline.
+    fn next_deadline(&self) -> Option<Slot> {
+        None
     }
 
     /// The station's platform rebooted: a [`crate::FaultKind::Reboot`]
@@ -99,6 +181,19 @@ pub trait Station {
     fn on_reset(&mut self, _now: Slot) {}
 }
 
+/// How [`Engine::step_inner`] selects stations for the `on_slot` phase.
+#[derive(Clone, Copy, PartialEq)]
+enum Dispatch {
+    /// Every station, no hint bookkeeping (the naive reference stepper).
+    Full,
+    /// Every station, refreshing the hint/sensitivity arrays afterwards —
+    /// re-seeds the event-horizon state after it was invalidated.
+    FullRefresh,
+    /// Only stations that received a frame, sensed a newly busy medium,
+    /// or whose hinted wakeup slot arrived; hints refreshed as they run.
+    Selective,
+}
+
 /// The slotted simulation engine: topology + channel + clock.
 pub struct Engine {
     topo: Topology,
@@ -107,12 +202,48 @@ pub struct Engine {
     rng: SmallRng,
     trace: Option<Trace>,
     outbox: Vec<Frame>,
-    /// Per-slot carrier-sense bitmap, reused across slots.
-    busy_map: Vec<bool>,
+    /// Stations that had a frame delivered this slot (word-packed).
+    received: Vec<u64>,
+    /// Stations whose `on_slot` currently reacts to a busy medium
+    /// (word-packed; refreshed with the wakeup hints).
+    sensitive: Vec<u64>,
+    /// Stations for which a busy medium is a pure freeze
+    /// ([`Station::busy_freezes`]; word-packed, refreshed with the
+    /// wakeup hints).
+    freezable: Vec<u64>,
+    /// Stations that were skipped on an idle-medium slot since their
+    /// last dispatch (word-packed). A busy slot after such a skip must
+    /// dispatch — the station's backoff may have counted down during
+    /// the idle run — which keeps every gap's skipped busy slots a
+    /// contiguous prefix.
+    gap_idle: Vec<u64>,
+    /// Per-station frozen-skip watermark handed to [`Ctx`]: the last
+    /// busy slot skipped for the station since its last dispatch (`0` =
+    /// none). Reset whenever the station runs.
+    frozen_through: Vec<Slot>,
+    /// Per-station medium-independent deadline
+    /// ([`Station::next_deadline`], clamped to the future), refreshed
+    /// with the wakeup hints. A frozen skip never crosses it.
+    deadline_at: Vec<Slot>,
+    /// Per-station next-wakeup hint, in absolute slots (`Slot::MAX` =
+    /// nothing self-scheduled). Entry `i` was computed by
+    /// `stations[i].next_wakeup` at the last slot the station ran, and
+    /// stays exact until then because skipped slots are exactly the ones
+    /// naive stepping could not have changed the station in.
+    wake_at: Vec<Slot>,
+    /// Scratch: per-station fault masks for the current slot
+    /// (word-packed rx-blocked / tx-blocked bits).
+    rx_blocked: Vec<u64>,
+    tx_blocked: Vec<u64>,
+    /// Whether `wake_at`/`sensitive` describe the stations' live state.
+    /// Cleared by naive stepping and external perturbations; re-seeded
+    /// by the next [`Dispatch::FullRefresh`] slot.
+    hints_valid: bool,
     /// Per-slot resolution outcome, reused across slots.
     outcome: SlotOutcome,
     /// Slots fast-forwarded over by [`Engine::advance_to`] (monotone).
     slots_skipped: u64,
+    /// TEMP diagnostics: on_slot dispatches, frozen skips, idle skips.
     /// Scheduled node faults (empty by default). A pure predicate of
     /// `(node, slot)`, so the fast and naive steppers agree exactly.
     faults: FaultPlan,
@@ -135,6 +266,7 @@ impl Engine {
     /// channel RNG seed.
     pub fn new(topo: Topology, capture: Capture, seed: u64) -> Self {
         let n = topo.len();
+        let n_words = n.div_ceil(64);
         Engine {
             topo,
             channel: Channel::new(capture),
@@ -142,7 +274,16 @@ impl Engine {
             rng: SmallRng::seed_from_u64(seed),
             trace: None,
             outbox: Vec::new(),
-            busy_map: Vec::new(),
+            received: vec![0; n_words],
+            sensitive: vec![0; n_words],
+            freezable: vec![0; n_words],
+            gap_idle: vec![0; n_words],
+            frozen_through: vec![0; n],
+            deadline_at: vec![Slot::MAX; n],
+            wake_at: vec![0; n],
+            rx_blocked: vec![0; n_words],
+            tx_blocked: vec![0; n_words],
+            hints_valid: false,
             outcome: SlotOutcome::default(),
             slots_skipped: 0,
             faults: FaultPlan::default(),
@@ -219,6 +360,15 @@ impl Engine {
         self.channel.set_fer(fer);
     }
 
+    /// Enables the channel's differential shadow: every resolution is
+    /// replayed against the naive full-rescan reference implementation
+    /// and asserted byte-identical (see
+    /// [`Channel::enable_crosscheck`]). Test instrumentation; must be
+    /// called before any transmission.
+    pub fn enable_channel_crosscheck(&mut self) {
+        self.channel.enable_crosscheck();
+    }
+
     /// Installs a fault plan. Crashed/deaf/rebooting nodes decode
     /// nothing while faulty; crashed/muted/rebooting nodes' frames are
     /// dropped before the air; a rebooting station is cold-reset (via
@@ -288,10 +438,28 @@ impl Engine {
     /// Replaces the ground-truth topology (node mobility). Station count
     /// must not change. Transmissions already on the air resolve against
     /// the new geometry — acceptable at epoch granularity, since motion
-    /// per frame airtime is negligible at realistic speeds.
+    /// per frame airtime is negligible at realistic speeds. The
+    /// channel's interference indexes are re-keyed to the new geometry
+    /// and the event-horizon dispatch state is re-seeded.
     pub fn set_topology(&mut self, topo: Topology) {
         assert_eq!(topo.len(), self.topo.len(), "station count is fixed");
         self.topo = topo;
+        self.channel.retune(&self.topo, self.now);
+        self.hints_valid = false;
+    }
+
+    /// Marks `node` for dispatch on the next stepped slot, regardless of
+    /// its current wakeup hint. Callers that perturb a station from
+    /// outside the engine (e.g. the workload runner handing it a traffic
+    /// arrival) must call this so the event-horizon dispatcher does not
+    /// skip the station's next `on_slot`.
+    pub fn wake(&mut self, node: NodeId) {
+        self.wake_at[node.index()] = self.now;
+        // The perturbation may have changed the station arbitrarily: a
+        // stale frozen-contender flag must not keep its next `on_slot`
+        // suppressed while its medium is busy. Dispatching refreshes
+        // the flag from the station itself.
+        assign_bit(&mut self.freezable, node.index(), false);
     }
 
     /// The radio channel (for inspection in tests and stats).
@@ -302,6 +470,11 @@ impl Engine {
     /// Advances the network by one slot. `stations[i]` is the MAC entity
     /// of `NodeId(i)`; the slice length must match the topology.
     pub fn step<S: Station>(&mut self, stations: &mut [S]) {
+        self.hints_valid = false;
+        self.step_inner(stations, Dispatch::Full);
+    }
+
+    fn step_inner<S: Station>(&mut self, stations: &mut [S], dispatch: Dispatch) {
         debug_assert_eq!(stations.len(), self.topo.len());
         let now = self.now;
 
@@ -312,15 +485,26 @@ impl Engine {
         // fires identically under naive and fast stepping.
         if self.has_reboots {
             for node in self.faults.reboots_completing_at(now) {
-                stations[node.index()].on_reset(now);
+                let i = node.index();
+                stations[i].on_reset(now);
+                // A cold reset reschedules the station arbitrarily, and
+                // the pre-reset dispatch flags no longer describe it.
+                self.wake_at[i] = now;
+                assign_bit(&mut self.sensitive, i, stations[i].carrier_sensitive());
+                assign_bit(&mut self.freezable, i, stations[i].busy_freezes());
+                assign_bit(&mut self.gap_idle, i, false);
+                self.frozen_through[i] = 0;
             }
         }
 
         let mut mark = self.begin_profiled_unit();
 
-        // Carrier sense for the whole slot, computed once: phases 1 and 2
-        // both read the same per-node predicate for the same slot.
-        self.channel.busy_map(now, &self.topo, &mut self.busy_map);
+        // Fault masks for the slot, word-packed.
+        let faulty = !self.faults.is_empty();
+        if faulty {
+            self.faults
+                .fill_masks(now, &mut self.rx_blocked, &mut self.tx_blocked);
+        }
         self.lap(&mut mark, Phase::CarrierSense);
 
         // Phase 1: resolve frames ending now and deliver them.
@@ -330,11 +514,11 @@ impl Engine {
         // nothing. Filtering happens *after* resolution so the channel's
         // RNG draws (FER, capture, burst) are identical with or without
         // a fault plan — only delivery is suppressed.
-        if !self.faults.is_empty() {
-            let faults = &self.faults;
+        if faulty {
+            let rx_blocked = &self.rx_blocked;
             self.outcome
                 .receptions
-                .retain(|r| !faults.blocks_rx(r.receiver, now));
+                .retain(|r| !bit(rx_blocked, r.receiver.index()));
         }
         if let Some(trace) = &mut self.trace {
             for c in &self.outcome.collisions {
@@ -359,10 +543,12 @@ impl Engine {
         self.lap(&mut mark, Phase::Resolve);
         for rec in &self.outcome.receptions {
             let node = rec.receiver;
+            set_bit(&mut self.received, node.index());
             let mut ctx = Ctx {
                 now,
                 node,
-                busy: self.busy_map[node.index()],
+                busy: self.channel.busy_prev_slot(node, now, &self.topo),
+                frozen_through: self.frozen_through[node.index()],
                 out: &mut self.outbox,
                 sink: self.trace.as_mut().map(|t| t as &mut dyn EventSink),
             };
@@ -370,17 +556,56 @@ impl Engine {
         }
         self.lap(&mut mark, Phase::Deliver);
 
-        // Phase 2: per-slot decisions.
+        // Phase 2: per-slot decisions. The selective mode runs exactly
+        // the stations naive stepping could observably have changed this
+        // slot: a delivered frame, a busy medium at a carrier-sensitive
+        // station (unless busy is a pure freeze for it and no deadline
+        // fell due), or the station's own hinted wakeup.
         for (i, station) in stations.iter_mut().enumerate() {
             let node = NodeId(i as u32);
+            let busy = self.channel.busy_prev_slot(node, now, &self.topo);
+            if dispatch == Dispatch::Selective && !bit(&self.received, i) {
+                let skip = if bit(&self.sensitive, i) && busy {
+                    // A frozen contender sleeps through busy slots —
+                    // but never through a deadline, and never after an
+                    // idle-medium skip in the same gap (its backoff may
+                    // have counted down there, and a naive step would
+                    // bank that idle run before freezing).
+                    bit(&self.freezable, i) && !bit(&self.gap_idle, i) && self.deadline_at[i] > now
+                } else {
+                    self.wake_at[i] > now
+                };
+                if skip {
+                    if bit(&self.sensitive, i) && busy {
+                        self.frozen_through[i] = now;
+                    } else if bit(&self.sensitive, i) && bit(&self.freezable, i) {
+                        set_bit(&mut self.gap_idle, i);
+                    }
+                    continue;
+                }
+            }
             let mut ctx = Ctx {
                 now,
                 node,
-                busy: self.busy_map[i],
+                busy,
+                frozen_through: self.frozen_through[i],
                 out: &mut self.outbox,
                 sink: self.trace.as_mut().map(|t| t as &mut dyn EventSink),
             };
             station.on_slot(&mut ctx);
+            if dispatch != Dispatch::Full {
+                self.wake_at[i] = station.next_wakeup(now).unwrap_or(Slot::MAX);
+                self.deadline_at[i] = station
+                    .next_deadline()
+                    .map_or(Slot::MAX, |d| d.max(now + 1));
+                assign_bit(&mut self.sensitive, i, station.carrier_sensitive());
+                assign_bit(&mut self.freezable, i, station.busy_freezes());
+            }
+            self.frozen_through[i] = 0;
+            assign_bit(&mut self.gap_idle, i, false);
+        }
+        for w in &mut self.received {
+            *w = 0;
         }
         self.lap(&mut mark, Phase::FsmDispatch);
 
@@ -390,19 +615,19 @@ impl Engine {
         // The sender's own MAC bookkeeping already ran; it believes the
         // frame went out.
         for frame in self.outbox.drain(..) {
-            if !self.faults.is_empty() && self.faults.blocks_tx(frame.src, now) {
+            if faulty && bit(&self.tx_blocked, frame.src.index()) {
                 continue;
             }
             self.last_tx[frame.src.index()] = Some(now);
             if let Some(trace) = &mut self.trace {
                 trace.tx_start(now, &frame);
             }
-            self.channel.begin_tx(frame, now);
+            self.channel.begin_tx(frame, now, &self.topo);
         }
         if self.channel.any_active(now) {
             self.channel.busy_slots += 1;
         }
-        self.channel.prune(now);
+        self.channel.prune(now, &self.topo);
         self.lap(&mut mark, Phase::TxLaunch);
         self.now = now + 1;
     }
@@ -418,25 +643,31 @@ impl Engine {
     ///
     /// After each processed slot, if the channel is quiescent (nothing
     /// on the air or still resolvable anywhere in the network), the
-    /// clock jumps straight to the earliest [`Station::next_wakeup`]
+    /// clock jumps straight to the earliest cached [`Station::next_wakeup`]
     /// hint, clamped to `target`. Skipped slots are provably idle for
     /// every station — no receptions, no busy carrier sense, no channel
     /// RNG draws — so stations that honor the hint contract observe
     /// exactly the slot sequence naive stepping would have given them,
-    /// and the run is bit-exact with [`Engine::run`].
+    /// and the run is bit-exact with [`Engine::run`]. Stepped slots use
+    /// the same hints to dispatch only the stations the slot can
+    /// observably affect.
     ///
     /// Callers that inject external events (traffic arrivals, topology
-    /// changes) must advance to the event's slot first, apply it, then
-    /// continue — see the workload runner.
+    /// changes) must advance to the event's slot first, apply it, and
+    /// [`Engine::wake`] any station they touched, then continue — see
+    /// the workload runner.
     pub fn advance_to<S: Station>(&mut self, stations: &mut [S], target: Slot) {
         while self.now < target {
-            self.step(stations);
+            if self.hints_valid {
+                self.step_inner(stations, Dispatch::Selective);
+            } else {
+                self.step_inner(stations, Dispatch::FullRefresh);
+                self.hints_valid = true;
+            }
             if self.now >= target || !self.channel.quiescent_at(self.now) {
                 continue;
             }
-            // Hints are relative to the slot the stations last saw.
             let mut mark = self.begin_profiled_unit();
-            let prev = self.now - 1;
             let mut horizon = target;
             // Never skip past a reboot completion: the recovery slot
             // must actually be stepped so the cold reset fires there.
@@ -445,11 +676,10 @@ impl Engine {
                     horizon = horizon.min(recovery);
                 }
             }
-            for station in stations.iter() {
-                let Some(wake) = station.next_wakeup(prev) else {
-                    continue;
-                };
-                debug_assert!(wake > prev, "wakeup hint not after the hinted slot");
+            // The hint array is exact (each entry was computed the last
+            // time its station ran, and skipped slots cannot change a
+            // station), so the horizon is just the array minimum.
+            for &wake in &self.wake_at {
                 horizon = horizon.min(wake.max(self.now));
                 if horizon == self.now {
                     break;
@@ -674,8 +904,9 @@ mod tests {
         let mut eng = Engine::new(pair_topo(), Capture::None, 1);
         let mut a = Dozer::new(10);
         // A 3-slot data frame at slot 0 keeps the channel non-quiescent
-        // through slot 3 (resolution slot), forcing naive stepping there
-        // even though the hint asks for slot 10.
+        // through slot 3 (resolution slot), forcing stepped slots there
+        // even though the hint asks for slot 10; both stations' media are
+        // busy (sender + in-range receiver), so both stay dispatched.
         a.plan.push((
             0,
             Frame::data(
@@ -713,6 +944,68 @@ mod tests {
         assert_eq!(fast.slots_skipped(), 0, "default hint wakes every slot");
         assert_eq!(st_naive[1].heard, st_fast[1].heard);
         assert_eq!(st_naive[1].busy_log, st_fast[1].busy_log);
+    }
+
+    #[test]
+    fn selective_dispatch_wakes_on_busy_medium_only_when_sensitive() {
+        /// Hints far in the future, logs every `on_slot` slot, and
+        /// optionally transmits at slot 3; sensitivity is configurable.
+        struct Watcher {
+            sensitive: bool,
+            tx_at_3: bool,
+            seen: Vec<Slot>,
+            heard: Vec<Slot>,
+        }
+        impl Station for Watcher {
+            fn on_receive(&mut self, _f: &Frame, _c: bool, ctx: &mut Ctx<'_>) {
+                self.heard.push(ctx.now);
+            }
+            fn on_slot(&mut self, ctx: &mut Ctx<'_>) {
+                self.seen.push(ctx.now);
+                if self.tx_at_3 && ctx.now == 3 {
+                    ctx.send(rts(ctx.node.0, (ctx.node.0 + 1) % 3));
+                }
+            }
+            fn next_wakeup(&self, now: Slot) -> Option<Slot> {
+                if self.tx_at_3 && now < 3 {
+                    Some(3)
+                } else {
+                    Some(now + 1_000_000)
+                }
+            }
+            fn carrier_sensitive(&self) -> bool {
+                self.sensitive
+            }
+        }
+        // Three stations in one radio range: 0 transmits at slot 3,
+        // 1 is carrier-sensitive, 2 is not.
+        let topo = Topology::new(
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(0.05, 0.0),
+                Point::new(0.1, 0.0),
+            ],
+            0.2,
+        );
+        let mk = |sensitive, tx_at_3| Watcher {
+            sensitive,
+            tx_at_3,
+            seen: Vec::new(),
+            heard: Vec::new(),
+        };
+        let mut eng = Engine::new(topo, Capture::None, 1);
+        let mut st = vec![mk(false, true), mk(true, false), mk(false, false)];
+        eng.run_fast(&mut st, 8);
+        // Slot 0 is the seeding full-refresh slot (everyone runs). The
+        // RTS airs at slot 3 and resolves at 4, so slot-4 media read
+        // busy: the sensitive watcher runs at 4, the insensitive one
+        // does not — but both receive the frame at 4 (delivery always
+        // dispatches the receiving station's on_slot too).
+        assert_eq!(st[0].seen, vec![0, 3]);
+        assert_eq!(st[1].seen, vec![0, 4]);
+        assert_eq!(st[2].seen, vec![0, 4]);
+        assert_eq!(st[1].heard, vec![4]);
+        assert_eq!(st[2].heard, vec![4]);
     }
 
     #[test]
@@ -827,12 +1120,14 @@ mod tests {
             } else {
                 eng.run(&mut st, 30);
             }
-            (st[0].seen.clone(), st[1].resets.clone())
+            (st[1].seen.clone(), st[1].resets.clone())
         };
         let (_, naive_resets) = run(false);
         let (fast_seen, fast_resets) = run(true);
         assert_eq!(naive_resets, vec![17]);
         assert_eq!(fast_resets, vec![17], "fast path missed the reset slot");
+        // The reset forces the rebooted station awake at the recovery
+        // slot even though its own hint said 20.
         assert!(fast_seen.contains(&17), "recovery slot was skipped");
     }
 

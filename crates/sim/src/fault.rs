@@ -239,6 +239,31 @@ impl FaultPlan {
         })
     }
 
+    /// Fills word-packed per-station fault masks for `slot`: bit `i` of
+    /// `rx_blocked` / `tx_blocked` is set iff [`FaultPlan::blocks_rx`] /
+    /// [`FaultPlan::blocks_tx`] holds for `NodeId(i)`. One pass over the
+    /// fault list per slot, so the engine's per-reception and per-frame
+    /// checks are bit tests instead of list scans. The caller supplies
+    /// the buffers sized to `n_nodes.div_ceil(64)` words.
+    pub fn fill_masks(&self, slot: Slot, rx_blocked: &mut [u64], tx_blocked: &mut [u64]) {
+        rx_blocked.fill(0);
+        tx_blocked.fill(0);
+        for f in &self.faults {
+            if !f.active_at(slot) {
+                continue;
+            }
+            let (w, b) = (f.node.index() >> 6, 1u64 << (f.node.index() & 63));
+            match f.kind {
+                FaultKind::Crash | FaultKind::Reboot => {
+                    rx_blocked[w] |= b;
+                    tx_blocked[w] |= b;
+                }
+                FaultKind::Deaf => rx_blocked[w] |= b,
+                FaultKind::TxMute => tx_blocked[w] |= b,
+            }
+        }
+    }
+
     /// Whether the plan schedules any reboot (cheap gate so the engine
     /// pays nothing for reboot bookkeeping when there are none).
     pub fn has_reboots(&self) -> bool {

@@ -48,6 +48,55 @@ impl fmt::Display for MsgId {
     }
 }
 
+/// Multiply-rotate hasher for small fixed-width keys ([`MsgId`],
+/// [`NodeId`]). The std default (SipHash) costs more than the rest of a
+/// reception's bookkeeping combined on the saturated path; id keys need
+/// no HashDoS resistance — they are dense, simulator-generated values —
+/// so a two-instruction mix per word is enough.
+#[derive(Clone, Copy, Default)]
+pub struct IdHasher(u64);
+
+impl std::hash::Hasher for IdHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic fallback (derive may hash padding-free structs as raw
+        // bytes on some layouts); word-at-a-time keeps it cheap.
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.write_u64(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.write_u64(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0 ^ v)
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .rotate_left(26);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        // splitmix-style finalizer: low bits (the ones hash tables
+        // index with) depend on every input bit.
+        let mut h = self.0;
+        h ^= h >> 31;
+        h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        h ^ (h >> 27)
+    }
+}
+
+/// `BuildHasher` for [`IdHasher`]-keyed tables.
+pub type BuildIdHasher = std::hash::BuildHasherDefault<IdHasher>;
+
+/// A hash set of message ids using the cheap id hasher.
+pub type MsgSet = std::collections::HashSet<MsgId, BuildIdHasher>;
+
 #[cfg(test)]
 mod tests {
     use super::*;

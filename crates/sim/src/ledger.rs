@@ -31,7 +31,7 @@ const COLLIDED: u8 = 4;
 
 /// Accumulates per-slot occupancy flags and per-kind airtime while a run
 /// executes. Owned by the [`Channel`](crate::Channel).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct AirtimeLedger {
     /// One flag byte per absolute slot, grown on demand.
     flags: Vec<u8>,

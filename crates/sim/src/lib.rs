@@ -39,7 +39,7 @@ pub use channel::{Channel, Reception, Transmission};
 pub use engine::{Ctx, Engine, Station};
 pub use fault::{BurstChain, FaultKind, FaultPlan, GilbertElliott, NodeFault, SpecError};
 pub use frame::{Dest, Frame, FrameInfo, FrameKind};
-pub use ids::{MsgId, NodeId, Slot};
+pub use ids::{BuildIdHasher, IdHasher, MsgId, MsgSet, NodeId, Slot};
 pub use ledger::{AirtimeBreakdown, AirtimeByKind, AirtimeLedger};
 pub use topology::Topology;
 pub use trace::{airtime_by_kind, max_idle_gap, tx_intervals_of, EventSink, Trace, TraceEvent};

@@ -328,6 +328,9 @@ fn run_one_impl(
                 engine.advance_to(&mut nodes, t);
                 for a in &arrivals {
                     nodes[a.node.index()].enqueue(a.kind, a.receivers.clone(), t);
+                    // The enqueue perturbs the station from outside the
+                    // engine: force its next on_slot past any stale hint.
+                    engine.wake(a.node);
                 }
             }
         } else {
@@ -492,8 +495,13 @@ fn run_mobile_impl(
             }
             beacon_topo = true_topo.clone();
             let advertised = Arc::new(beacon_topo.positions().to_vec());
-            for node in &mut nodes {
+            for (i, node) in nodes.iter_mut().enumerate() {
                 node.refresh_neighbors(&beacon_topo, Arc::clone(&advertised));
+                // The refresh mutates stations outside the engine:
+                // invalidate their cached wakeup hints.
+                if fast {
+                    engine.wake(NodeId(i as u32));
+                }
             }
         }
         // Requests are addressed to the neighbors the sender *believes*
@@ -505,6 +513,9 @@ fn run_mobile_impl(
         }
         for a in &arrivals {
             nodes[a.node.index()].enqueue(a.kind, a.receivers.clone(), t);
+            if fast {
+                engine.wake(a.node);
+            }
         }
         if let Some(w) = scenario.stall_window {
             if t > 0 && t % w == 0 {
