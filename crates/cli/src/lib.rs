@@ -128,10 +128,73 @@ pub enum Command {
         /// Replay a stored repro file instead of running a campaign.
         repro: Option<String>,
     },
+    /// Start the long-lived simulation daemon.
+    Serve {
+        /// Bind address (`host:port`; port 0 picks a free port).
+        addr: String,
+        /// Engine worker threads (0 = one per core; an *explicit*
+        /// `--jobs 0` is rejected at parse time).
+        jobs: usize,
+        /// Concurrent-connection cap.
+        max_conns: usize,
+        /// Bounded engine-queue depth (TCP backpressure threshold).
+        queue_cap: usize,
+        /// On-disk result cache (manifest format); memory-only if absent.
+        cache: Option<String>,
+    },
+    /// Talk to a running daemon.
+    Submit {
+        /// Daemon address (`host:port`).
+        addr: String,
+        /// What to submit.
+        action: SubmitAction,
+    },
     /// Print the default scenario as a JSON template.
     Config,
     /// Print usage.
     Help,
+}
+
+/// What `rmm submit` does once connected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SubmitAction {
+    /// Submit one cell and print the response lines verbatim (or, with
+    /// `local`, compute the identical lines in-process — the byte-diff
+    /// oracle CI uses against a running server).
+    Run {
+        /// Protocol under test.
+        protocol: ProtocolKind,
+        /// Scenario after config + overrides.
+        scenario: Scenario,
+        /// Seed of the cell.
+        seed: u64,
+        /// Ask for the streamed event trace.
+        trace: bool,
+        /// Ask for the phase-timer profile.
+        profile: bool,
+        /// Compute locally instead of contacting the daemon.
+        local: bool,
+    },
+    /// Drive a concurrent soak campaign and byte-verify every response
+    /// against the serial in-process oracle.
+    Soak {
+        /// Total requests (spread over all protocols round-robin).
+        requests: usize,
+        /// Concurrent pipelined connections.
+        conns: usize,
+        /// Scenario every request uses (seeds differ per request).
+        scenario: Scenario,
+        /// First seed; request `i` uses `seed + i`.
+        seed: u64,
+        /// Request a trace on every n-th request (0 = never).
+        trace_every: usize,
+        /// Require a fully-cached sweep with zero engine runs.
+        expect_cached: bool,
+    },
+    /// Print the daemon's Prometheus metrics snapshot.
+    Metrics,
+    /// Ask the daemon to drain and exit.
+    Shutdown,
 }
 
 /// Errors from [`parse_args`].
@@ -154,26 +217,20 @@ impl std::fmt::Display for CliError {
             CliError::BadValue(s) => write!(f, "bad or missing value for {s}"),
             CliError::BadConfig(s) => write!(f, "config error: {s}"),
             CliError::MissingProtocol => {
-                write!(f, "`run`, `trace`, and `prof` require --protocol <name>")
+                write!(
+                    f,
+                    "`run`, `trace`, `prof`, and `submit run` require --protocol <name>"
+                )
             }
         }
     }
 }
 
 /// Parses a protocol name (case-insensitive; accepts the display names
-/// and a few aliases).
+/// and a few aliases). Delegates to [`ProtocolKind::parse`] so the CLI,
+/// the serve daemon, and library callers accept exactly the same names.
 pub fn parse_protocol(name: &str) -> Option<ProtocolKind> {
-    match name.to_ascii_lowercase().as_str() {
-        "802.11" | "80211" | "ieee80211" | "plain" => Some(ProtocolKind::Ieee80211),
-        "tg" | "tg-rts" | "tang-gerla" | "tanggerla" => Some(ProtocolKind::TangGerla),
-        "bsma" => Some(ProtocolKind::Bsma),
-        "bmw" => Some(ProtocolKind::Bmw),
-        "bmmm" => Some(ProtocolKind::Bmmm),
-        "lamm" => Some(ProtocolKind::Lamm),
-        "leader" | "leader-based" | "kk" => Some(ProtocolKind::LeaderBased),
-        "uncoord" | "bmmm-uncoord" | "bmmm-uncoordinated" => Some(ProtocolKind::BmmmUncoordinated),
-        _ => None,
-    }
+    ProtocolKind::parse(name)
 }
 
 /// Parses an argument vector (without the binary name).
@@ -300,7 +357,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
                         i += 1;
                     }
                     "--jobs" if sub == "run" || sub == "compare" => {
-                        sweep.jobs = parse_num(&rest, i, "--jobs")?;
+                        sweep.jobs = parse_positive(&rest, i, "--jobs")?;
                         i += 2;
                     }
                     "--manifest" if sub == "run" => {
@@ -397,14 +454,203 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
                 }),
             }
         }
+        "serve" => {
+            let rest: Vec<String> = args.collect();
+            let mut addr = "127.0.0.1:4860".to_string();
+            let mut jobs = 0usize;
+            let mut max_conns = 64usize;
+            let mut queue_cap = 1024usize;
+            let mut cache = None;
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--addr" => {
+                        addr = flag_value(&rest, i, "--addr")?;
+                        i += 2;
+                    }
+                    "--jobs" => {
+                        jobs = parse_positive(&rest, i, "--jobs")?;
+                        i += 2;
+                    }
+                    "--max-conns" => {
+                        max_conns = parse_positive(&rest, i, "--max-conns")?;
+                        i += 2;
+                    }
+                    "--queue-cap" => {
+                        queue_cap = parse_positive(&rest, i, "--queue-cap")?;
+                        i += 2;
+                    }
+                    "--cache" => {
+                        cache = Some(flag_value(&rest, i, "--cache")?);
+                        i += 2;
+                    }
+                    other => return Err(CliError::Unknown(other.to_string())),
+                }
+            }
+            Ok(Command::Serve {
+                addr,
+                jobs,
+                max_conns,
+                queue_cap,
+                cache,
+            })
+        }
+        "submit" => {
+            let mut args = args.peekable();
+            let action = match args.next().as_deref() {
+                Some("run") => "run",
+                Some("soak") => "soak",
+                Some("metrics") => "metrics",
+                Some("shutdown") => "shutdown",
+                Some(other) => return Err(CliError::Unknown(format!("submit {other}"))),
+                None => {
+                    return Err(CliError::BadValue(
+                        "submit (needs an action: run, soak, metrics, or shutdown)".into(),
+                    ))
+                }
+            };
+            let rest: Vec<String> = args.collect();
+            let mut addr = "127.0.0.1:4860".to_string();
+            let mut protocol = None;
+            let mut scenario = Scenario::default();
+            let mut seed = 0u64;
+            let mut trace = false;
+            let mut profile = false;
+            let mut local = false;
+            let mut requests = 1000usize;
+            let mut conns = 8usize;
+            let mut trace_every = 0usize;
+            let mut expect_cached = false;
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--addr" => {
+                        addr = flag_value(&rest, i, "--addr")?;
+                        i += 2;
+                    }
+                    "--protocol" | "-p" if action == "run" => {
+                        let v = flag_value(&rest, i, "--protocol")?;
+                        protocol =
+                            Some(parse_protocol(&v).ok_or_else(|| CliError::BadValue(v.clone()))?);
+                        i += 2;
+                    }
+                    "--config" if action == "run" || action == "soak" => {
+                        let path = flag_value(&rest, i, "--config")?;
+                        let text = std::fs::read_to_string(&path)
+                            .map_err(|e| CliError::BadConfig(format!("{path}: {e}")))?;
+                        scenario = serde_json::from_str(&text)
+                            .map_err(|e| CliError::BadConfig(format!("{path}: {e}")))?;
+                        i += 2;
+                    }
+                    "--nodes" if action == "run" || action == "soak" => {
+                        scenario.n_nodes = parse_num(&rest, i, "--nodes")?;
+                        i += 2;
+                    }
+                    "--slots" if action == "run" || action == "soak" => {
+                        scenario.sim_slots = parse_num(&rest, i, "--slots")?;
+                        i += 2;
+                    }
+                    "--rate" if action == "run" || action == "soak" => {
+                        scenario.msg_rate = parse_num(&rest, i, "--rate")?;
+                        i += 2;
+                    }
+                    "--runs" if action == "run" || action == "soak" => {
+                        scenario.n_runs = parse_num(&rest, i, "--runs")?;
+                        i += 2;
+                    }
+                    "--seed" if action == "run" || action == "soak" => {
+                        seed = parse_num(&rest, i, "--seed")?;
+                        i += 2;
+                    }
+                    "--trace" if action == "run" => {
+                        trace = true;
+                        i += 1;
+                    }
+                    "--profile" if action == "run" => {
+                        profile = true;
+                        i += 1;
+                    }
+                    "--local" if action == "run" => {
+                        local = true;
+                        i += 1;
+                    }
+                    "--requests" if action == "soak" => {
+                        requests = parse_positive(&rest, i, "--requests")?;
+                        i += 2;
+                    }
+                    "--conns" if action == "soak" => {
+                        conns = parse_positive(&rest, i, "--conns")?;
+                        i += 2;
+                    }
+                    "--trace-every" if action == "soak" => {
+                        trace_every = parse_num(&rest, i, "--trace-every")?;
+                        i += 2;
+                    }
+                    "--expect-cached" if action == "soak" => {
+                        expect_cached = true;
+                        i += 1;
+                    }
+                    other => return Err(CliError::Unknown(other.to_string())),
+                }
+            }
+            scenario
+                .faults
+                .validate(scenario.n_nodes)
+                .map_err(|e| CliError::BadValue(format!("--config faults: {e}")))?;
+            scenario
+                .churn
+                .validate(scenario.n_nodes)
+                .map_err(|e| CliError::BadValue(format!("--config churn: {e}")))?;
+            let action = match action {
+                "run" => SubmitAction::Run {
+                    protocol: protocol.ok_or(CliError::MissingProtocol)?,
+                    scenario,
+                    seed,
+                    trace,
+                    profile,
+                    local,
+                },
+                "soak" => SubmitAction::Soak {
+                    requests,
+                    conns,
+                    scenario,
+                    seed,
+                    trace_every,
+                    expect_cached,
+                },
+                "metrics" => SubmitAction::Metrics,
+                _ => SubmitAction::Shutdown,
+            };
+            Ok(Command::Submit { addr, action })
+        }
         other => Err(CliError::Unknown(other.to_string())),
     }
+}
+
+fn flag_value(rest: &[String], i: usize, flag: &str) -> Result<String, CliError> {
+    rest.get(i + 1)
+        .cloned()
+        .ok_or_else(|| CliError::BadValue(flag.into()))
 }
 
 fn parse_num<T: std::str::FromStr>(rest: &[String], i: usize, flag: &str) -> Result<T, CliError> {
     rest.get(i + 1)
         .and_then(|v| v.parse().ok())
         .ok_or_else(|| CliError::BadValue(flag.into()))
+}
+
+/// [`parse_num`] for counts where zero is meaningless: an explicit `0`
+/// gets a friendly rejection instead of surprising behaviour (`--jobs 0`
+/// would mean "no workers", `--max-conns 0` a server nobody can reach).
+/// Omitting the flag keeps the documented default.
+fn parse_positive(rest: &[String], i: usize, flag: &str) -> Result<usize, CliError> {
+    let n: usize = parse_num(rest, i, flag)?;
+    if n == 0 {
+        return Err(CliError::BadValue(format!(
+            "{flag} (must be at least 1; omit the flag for the default)"
+        )));
+    }
+    Ok(n)
 }
 
 /// Parses a `--burst-fer p,r` value into a Gilbert–Elliott model.
@@ -441,6 +687,7 @@ fn sweep_runs(
         resume: sweep.resume,
         manifest_path: Some(path.into()),
         options_hash: h.finish(),
+        schema: rmm::workload::scenario_schema_hash(),
         quiet: true,
         work_per_job: scenario.sim_slots,
     };
@@ -891,6 +1138,17 @@ usage:
                                           # airtime ledger, FSM dwell
   rmm chaos [options]     # randomized fault/churn/burst schedules checked
                           # against invariants, failures shrunk to a repro
+  rmm serve [--addr H:P] [--jobs N] [--max-conns N] [--queue-cap N]
+            [--cache f.jsonl]   # long-lived daemon: JSONL requests over TCP,
+                                # streamed traces, content-addressed cache
+  rmm submit run --protocol <name> [--seed N] [--trace] [--profile]
+             [--local] [--addr H:P] [scenario overrides]
+  rmm submit soak [--requests N] [--conns N] [--trace-every N]
+             [--expect-cached] [--addr H:P] [overrides]
+                          # concurrent campaign, byte-diffed vs the serial
+                          # oracle; --expect-cached also requires zero
+                          # engine runs (checked via the metrics counters)
+  rmm submit metrics|shutdown [--addr H:P]
   rmm config              # print a scenario JSON template
 
 options:
@@ -936,6 +1194,127 @@ mod tests {
         assert_eq!(parse_protocol("802.11"), Some(ProtocolKind::Ieee80211));
         assert_eq!(parse_protocol("kk"), Some(ProtocolKind::LeaderBased));
         assert_eq!(parse_protocol("nope"), None);
+        // Delegates to ProtocolKind::parse, so every display name
+        // round-trips — including the BMMM-U ablation's.
+        for p in ProtocolKind::EVERY {
+            assert_eq!(parse_protocol(p.name()), Some(p));
+        }
+    }
+
+    #[test]
+    fn parse_serve_defaults_and_flags() {
+        assert_eq!(
+            parse_args(args("serve")),
+            Ok(Command::Serve {
+                addr: "127.0.0.1:4860".into(),
+                jobs: 0,
+                max_conns: 64,
+                queue_cap: 1024,
+                cache: None,
+            })
+        );
+        assert_eq!(
+            parse_args(args(
+                "serve --addr 0.0.0.0:9000 --jobs 2 --max-conns 8 --queue-cap 32 --cache c.jsonl"
+            )),
+            Ok(Command::Serve {
+                addr: "0.0.0.0:9000".into(),
+                jobs: 2,
+                max_conns: 8,
+                queue_cap: 32,
+                cache: Some("c.jsonl".into()),
+            })
+        );
+    }
+
+    #[test]
+    fn explicit_zero_counts_are_rejected_with_a_friendly_error() {
+        for cmdline in [
+            "serve --jobs 0",
+            "serve --max-conns 0",
+            "serve --queue-cap 0",
+            "run --protocol bmmm --jobs 0",
+            "compare --jobs 0",
+            "submit soak --conns 0",
+            "submit soak --requests 0",
+        ] {
+            match parse_args(args(cmdline)) {
+                Err(CliError::BadValue(msg)) => {
+                    assert!(
+                        msg.contains("at least 1") && msg.contains("omit the flag"),
+                        "`{cmdline}` should explain the rejection, got: {msg}"
+                    );
+                }
+                other => panic!("`{cmdline}` should be rejected, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn parse_submit_actions() {
+        let cmd = parse_args(args(
+            "submit run --protocol lamm --seed 9 --trace --local --nodes 20 --addr h:1",
+        ));
+        assert_eq!(
+            cmd,
+            Ok(Command::Submit {
+                addr: "h:1".into(),
+                action: SubmitAction::Run {
+                    protocol: ProtocolKind::Lamm,
+                    scenario: Scenario {
+                        n_nodes: 20,
+                        ..Scenario::default()
+                    },
+                    seed: 9,
+                    trace: true,
+                    profile: false,
+                    local: true,
+                },
+            })
+        );
+        let cmd = parse_args(args(
+            "submit soak --requests 100 --conns 4 --trace-every 10 --expect-cached",
+        ));
+        assert_eq!(
+            cmd,
+            Ok(Command::Submit {
+                addr: "127.0.0.1:4860".into(),
+                action: SubmitAction::Soak {
+                    requests: 100,
+                    conns: 4,
+                    scenario: Scenario::default(),
+                    seed: 0,
+                    trace_every: 10,
+                    expect_cached: true,
+                },
+            })
+        );
+        assert_eq!(
+            parse_args(args("submit metrics")),
+            Ok(Command::Submit {
+                addr: "127.0.0.1:4860".into(),
+                action: SubmitAction::Metrics,
+            })
+        );
+        assert_eq!(
+            parse_args(args("submit shutdown --addr x:2")),
+            Ok(Command::Submit {
+                addr: "x:2".into(),
+                action: SubmitAction::Shutdown,
+            })
+        );
+        assert_eq!(
+            parse_args(args("submit run")),
+            Err(CliError::MissingProtocol)
+        );
+        assert!(matches!(
+            parse_args(args("submit dance")),
+            Err(CliError::Unknown(_))
+        ));
+        assert!(matches!(
+            parse_args(args("submit")),
+            Err(CliError::BadValue(_))
+        ));
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use rmm_cli::{
     compare_metrics_json, export_profile, export_trace, parse_args, render_compare, render_run,
-    replay_repro, repro_json, run_chaos_campaign, Command, USAGE,
+    replay_repro, repro_json, run_chaos_campaign, Command, SubmitAction, USAGE,
 };
 
 fn write_file(path: &str, contents: &str) {
@@ -125,6 +125,103 @@ fn main() {
                 }
             }
         }
+        Command::Serve {
+            addr,
+            jobs,
+            max_conns,
+            queue_cap,
+            cache,
+        } => {
+            let config = rmm::serve::ServeConfig {
+                addr,
+                workers: jobs,
+                max_conns,
+                queue_cap,
+                cache_path: cache.map(std::path::PathBuf::from),
+                quiet: false,
+            };
+            match rmm::serve::Server::start(config) {
+                Ok(server) => server.join(), // runs until a Shutdown request drains it
+                Err(e) => {
+                    eprintln!("error: cannot start server: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        Command::Submit { addr, action } => match action {
+            SubmitAction::Run {
+                protocol,
+                scenario,
+                seed,
+                trace,
+                profile,
+                local,
+            } => {
+                let req = rmm::serve::RunRequest {
+                    id: 0,
+                    protocol: protocol.name().to_string(),
+                    scenario,
+                    seed,
+                    trace,
+                    profile,
+                };
+                let lines = if local {
+                    rmm::serve::local_lines(&req).expect("protocol came from parse_protocol")
+                } else {
+                    match rmm::serve::submit_one(&addr, &req) {
+                        Ok(lines) => lines,
+                        Err(e) => {
+                            eprintln!("error: submit to {addr}: {e}");
+                            std::process::exit(2);
+                        }
+                    }
+                };
+                let failed = lines.last().is_some_and(|l| l.contains("\"Error\""));
+                for line in lines {
+                    println!("{line}");
+                }
+                if failed {
+                    std::process::exit(1);
+                }
+            }
+            SubmitAction::Soak {
+                requests,
+                conns,
+                scenario,
+                seed,
+                trace_every,
+                expect_cached,
+            } => {
+                let spec = rmm::serve::SoakSpec {
+                    requests,
+                    conns,
+                    scenario,
+                    seed_base: seed,
+                    trace_every,
+                    expect_cached,
+                };
+                match rmm::serve::soak(&addr, &spec) {
+                    Ok(report) => println!("{}", rmm::serve::render_soak(&report)),
+                    Err(e) => {
+                        eprintln!("soak FAILED: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+            SubmitAction::Metrics => match rmm::serve::fetch_metrics(&addr) {
+                Ok(text) => print!("{text}"),
+                Err(e) => {
+                    eprintln!("error: metrics from {addr}: {e}");
+                    std::process::exit(2);
+                }
+            },
+            SubmitAction::Shutdown => {
+                if let Err(e) = rmm::serve::request_shutdown(&addr) {
+                    eprintln!("error: shutdown of {addr}: {e}");
+                    std::process::exit(2);
+                }
+            }
+        },
         Command::Prof {
             protocol,
             scenario,

@@ -18,6 +18,7 @@
 //! | [`mac`] | `rmm-mac` | BMMM, LAMM, BMW, BSMA, Tang–Gerla, 802.11, DCF |
 //! | [`workload`] | `rmm-workload` | placement, traffic mix, parallel runner |
 //! | [`fleet`] | `rmm-fleet` | parallel sweep pool, resumable manifest, deterministic merge |
+//! | [`serve`] | `rmm-serve` | long-lived TCP daemon, streamed traces, content-addressed cache |
 //! | [`stats`] | `rmm-stats` | delivery rate / contention / completion metrics |
 //! | [`analysis`] | `rmm-analysis` | Section 6 closed forms (Table 1, Figure 5) |
 //!
@@ -64,6 +65,12 @@ pub mod workload {
 /// deterministic (input-order) result merge.
 pub mod fleet {
     pub use rmm_fleet::*;
+}
+
+/// The simulator as a long-lived service: JSONL-over-TCP requests,
+/// streamed traces, content-addressed result cache.
+pub mod serve {
+    pub use rmm_serve::*;
 }
 
 /// Metrics and statistics.

@@ -93,6 +93,7 @@ where
         resume: options.resume,
         manifest_path: Some(options.out_dir.join(format!("{experiment}.manifest.jsonl"))),
         options_hash: h.finish(),
+        schema: rmm_workload::scenario_schema_hash(),
         quiet: false,
         work_per_job: options.slots,
     };

@@ -37,11 +37,13 @@ pub mod id;
 pub mod manifest;
 pub mod pool;
 pub mod progress;
+pub mod service;
 pub mod sweep;
 
 pub use digest::{fnv1a, hex, Fnv1a};
 pub use id::JobId;
-pub use manifest::{Manifest, ManifestError, ManifestHeader};
+pub use manifest::{Manifest, ManifestError, ManifestHeader, MANIFEST_VERSION};
 pub use pool::{resolve_workers, run_parallel};
 pub use progress::Progress;
+pub use service::{JobTicket, ServicePool};
 pub use sweep::{run_sweep, FleetError, SweepConfig, SweepOutcome};

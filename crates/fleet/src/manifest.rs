@@ -9,7 +9,7 @@
 //! does not match the sweep being run (options changed, different grid)
 //! is *stale* and is rejected rather than silently merged.
 
-use crate::digest::{fnv1a, hex};
+use crate::digest::hex;
 use crate::id::JobId;
 use serde::{Deserialize, Serialize};
 use std::io::Write;
@@ -17,7 +17,8 @@ use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
 /// Manifest format version (bumped on incompatible layout changes).
-pub const MANIFEST_VERSION: u32 = 1;
+/// Version 2 added the `schema` field to the header.
+pub const MANIFEST_VERSION: u32 = 2;
 
 /// The first line of a manifest.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -30,13 +31,22 @@ pub struct ManifestHeader {
     pub jobs: usize,
     /// Format version.
     pub version: u32,
+    /// Fingerprint of the *result/scenario serialization shape* the
+    /// entries were written under (see
+    /// `rmm_workload::scenario_schema_hash`). The options hash covers
+    /// the option *values*; this covers the field layout itself, so a
+    /// `Scenario` refactor that keeps old option strings valid still
+    /// invalidates cached entries instead of silently resurrecting
+    /// stale digests.
+    pub schema: u32,
 }
 
 /// One completed-job line.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct Entry {
     id: JobId,
-    /// FNV-1a 64 of the `result` string, as `0x…`.
+    /// FNV-1a 64 over the id fields and the `result` string, as `0x…`
+    /// (see [`entry_digest`]).
     digest: String,
     /// The job's result, serialized to JSON (stored as a string so the
     /// digest covers the exact bytes that will be parsed on resume).
@@ -67,17 +77,23 @@ impl std::fmt::Display for ManifestError {
             ManifestError::Missing => write!(f, "no manifest to resume from"),
             ManifestError::Stale { expected, found } => write!(
                 f,
-                "stale manifest: expected sweep `{}` hash {} over {} jobs, \
-                 found sweep `{}` hash {} over {} jobs — \
+                "stale manifest: expected sweep `{}` hash {} schema {:#010x} over {} jobs, \
+                 found sweep `{}` hash {} schema {:#010x} over {} jobs — \
                  rerun without --resume to start fresh",
                 expected.sweep,
                 expected.options_hash,
+                expected.schema,
                 expected.jobs,
                 found.sweep,
                 found.options_hash,
+                found.schema,
                 found.jobs
             ),
-            ManifestError::Corrupt(why) => write!(f, "corrupt manifest: {why}"),
+            ManifestError::Corrupt(why) => write!(
+                f,
+                "corrupt manifest: {why} — likely written by an older \
+                 build; rerun without --resume to start fresh"
+            ),
             ManifestError::Io(e) => write!(f, "manifest I/O error: {e}"),
         }
     }
@@ -178,7 +194,7 @@ impl Manifest {
             let Ok(entry) = serde_json::from_str::<Entry>(line) else {
                 break; // truncated tail of a killed sweep
             };
-            if hex(fnv1a(entry.result.as_bytes())) != entry.digest {
+            if entry_digest(&entry.id, &entry.result) != entry.digest {
                 break; // bit-rot or a torn write: stop trusting the file
             }
             entries.push((entry.id, entry.result));
@@ -187,10 +203,23 @@ impl Manifest {
     }
 }
 
+/// FNV-1a over the id *and* the result bytes. Covering the id matters:
+/// bit-rot inside the id field would otherwise produce a valid-looking
+/// entry under a forged identity, which on resume could mark a
+/// different pending job as already done.
+fn entry_digest(id: &JobId, result_json: &str) -> String {
+    let mut h = crate::digest::Fnv1a::new();
+    h.write_str(&id.experiment);
+    h.write_str(&id.point);
+    h.write_u64(id.seed);
+    h.write_str(result_json);
+    hex(h.finish())
+}
+
 fn entry_line(id: &JobId, result_json: &str) -> String {
     let entry = Entry {
         id: id.clone(),
-        digest: hex(fnv1a(result_json.as_bytes())),
+        digest: entry_digest(id, result_json),
         result: result_json.to_string(),
     };
     serde_json::to_string(&entry).expect("entry serializes")
@@ -206,6 +235,7 @@ mod tests {
             options_hash: "0x00000000deadbeef".into(),
             jobs,
             version: MANIFEST_VERSION,
+            schema: 7,
         }
     }
 
@@ -278,6 +308,33 @@ mod tests {
         match Manifest::load(&path, &header(4)) {
             Err(ManifestError::Stale { .. }) => {}
             other => panic!("expected Stale, got {other:?}"),
+        }
+        // A schema drift (Scenario fields changed) is stale as well —
+        // cached entries must self-invalidate, never resurrect.
+        let mut drifted = header(3);
+        drifted.schema = 8;
+        match Manifest::load(&path, &drifted) {
+            Err(ManifestError::Stale { .. }) => {}
+            other => panic!("expected Stale on schema drift, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn schemaless_v1_header_is_rejected_not_merged() {
+        // A manifest written before the schema field existed must not
+        // load: its entries predate the schema fingerprint entirely.
+        let dir = tempdir("v1");
+        let path = dir.join("test.manifest.jsonl");
+        std::fs::write(
+            &path,
+            "{\"sweep\":\"test\",\"options_hash\":\"0x00000000deadbeef\",\
+             \"jobs\":3,\"version\":1}\n",
+        )
+        .unwrap();
+        match Manifest::load(&path, &header(3)) {
+            Err(ManifestError::Corrupt(_)) => {}
+            other => panic!("expected Corrupt for a v1 header, got {other:?}"),
         }
         let _ = std::fs::remove_dir_all(&dir);
     }

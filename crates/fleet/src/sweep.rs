@@ -25,6 +25,10 @@ pub struct SweepConfig {
     /// Stable hash over the sweep options and the full job grid; a
     /// manifest written under a different hash is stale.
     pub options_hash: u64,
+    /// Fingerprint of the result/scenario serialization shape (see
+    /// `rmm_workload::scenario_schema_hash`); a manifest written under
+    /// a different schema is stale.
+    pub schema: u32,
     /// Suppress progress output.
     pub quiet: bool,
     /// Work units one job represents (e.g. simulated slots), for the
@@ -41,6 +45,7 @@ impl SweepConfig {
             resume: false,
             manifest_path: None,
             options_hash: 0,
+            schema: 0,
             quiet: true,
             work_per_job: 0,
         }
@@ -100,6 +105,7 @@ where
         options_hash: hex(config.options_hash),
         jobs: jobs.len(),
         version: MANIFEST_VERSION,
+        schema: config.schema,
     };
 
     // Phase 1: load completed results out of the manifest (resume only).
@@ -274,6 +280,13 @@ mod tests {
         match run_sweep(&config, &jobs, |id, _| id.seed) {
             Err(FleetError::Manifest(ManifestError::Stale { .. })) => {}
             other => panic!("expected stale rejection, got {other:?}"),
+        }
+        // Same options, drifted result schema: stale too.
+        config.options_hash = 1;
+        config.schema = 99;
+        match run_sweep(&config, &jobs, |id, _| id.seed) {
+            Err(FleetError::Manifest(ManifestError::Stale { .. })) => {}
+            other => panic!("expected schema-drift rejection, got {other:?}"),
         }
         let _ = std::fs::remove_dir_all(&dir);
     }

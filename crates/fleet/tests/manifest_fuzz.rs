@@ -1,0 +1,167 @@
+//! Property-based robustness tests for the crash-safe manifest: no
+//! matter how the file is mangled — truncated mid-byte, bit-flipped,
+//! interleaved with foreign lines — loading must never panic, must
+//! never invent entries, and must keep resume exactly-once (a returned
+//! prefix of intact entries, each byte-identical to what was written).
+
+use proptest::prelude::*;
+use rmm_fleet::{JobId, Manifest, ManifestError, ManifestHeader, MANIFEST_VERSION};
+use std::path::PathBuf;
+
+fn header(jobs: usize) -> ManifestHeader {
+    ManifestHeader {
+        sweep: "fuzz".into(),
+        options_hash: "0x00000000deadbeef".into(),
+        jobs,
+        version: MANIFEST_VERSION,
+        schema: 0x5eed,
+    }
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "rmm-manifest-fuzz-{}-{tag}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join("manifest.jsonl")
+}
+
+/// Writes a well-formed manifest with `n` entries and returns its bytes
+/// plus the entries as written.
+fn write_manifest(path: &PathBuf, n: usize) -> (Vec<u8>, Vec<(JobId, String)>) {
+    let manifest = Manifest::create(path, &header(n), &[]).unwrap();
+    let mut entries = Vec::with_capacity(n);
+    for i in 0..n {
+        let id = JobId::new("fuzz", format!("point-{i}"), i as u64);
+        let result = format!("{{\"cell\":{i},\"payload\":\"r{i}\"}}");
+        manifest.append(&id, &result);
+        entries.push((id, result));
+    }
+    drop(manifest);
+    (std::fs::read(path).unwrap(), entries)
+}
+
+/// Whatever load returns must be an exact prefix-subset of what was
+/// written: same ids, byte-identical results, in order, no duplicates,
+/// nothing invented. (Corruption may legally shorten the tail — never
+/// alter or reorder what survives.)
+fn assert_recovered_is_clean_prefix(recovered: &[(JobId, String)], written: &[(JobId, String)]) {
+    assert!(recovered.len() <= written.len(), "load invented entries");
+    for (got, want) in recovered.iter().zip(written) {
+        assert_eq!(got, want, "recovered entry differs from what was written");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Truncating the file at any byte never panics and never corrupts
+    /// the surviving prefix. Entries whose final newline survived are
+    /// recovered; exactly-once means nothing past the cut is returned.
+    #[test]
+    fn truncation_yields_clean_prefix(n in 1usize..8, cut_frac in 0.0f64..1.0) {
+        let path = scratch("trunc");
+        let (bytes, written) = write_manifest(&path, n);
+        let cut = (bytes.len() as f64 * cut_frac) as usize;
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+        match Manifest::load(&path, &header(n)) {
+            Ok(recovered) => {
+                assert_recovered_is_clean_prefix(&recovered, &written);
+                // Exactly-once accounting: a resumed sweep reruns
+                // precisely the complement, so recovered + rerun = n.
+                prop_assert!(recovered.len() <= n);
+            }
+            // Cutting into the header line is a Corrupt file, not a crash.
+            Err(ManifestError::Corrupt(_)) => {}
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+
+    /// Flipping any single bit anywhere never panics, and a flip inside
+    /// an entry is caught by the digest (the poisoned entry and its tail
+    /// are dropped, everything before it survives byte-identical).
+    #[test]
+    fn bit_flips_never_panic_or_forge_entries(n in 1usize..8, pos_frac in 0.0f64..1.0, bit in 0u8..8) {
+        let path = scratch("flip");
+        let (mut bytes, written) = write_manifest(&path, n);
+        let pos = ((bytes.len() - 1) as f64 * pos_frac) as usize;
+        bytes[pos] ^= 1 << bit;
+        std::fs::write(&path, &bytes).unwrap();
+        match Manifest::load(&path, &header(n)) {
+            Ok(recovered) => {
+                // The flip may land in an entry (dropping it and its
+                // tail) or leave JSON valid-but-different; the digest
+                // guarantees any *accepted* entry is byte-identical.
+                assert_recovered_is_clean_prefix(&recovered, &written);
+            }
+            // A flip in the header line is Corrupt or Stale; a flip that
+            // breaks UTF-8 is a clean I/O error. Never a panic.
+            Err(ManifestError::Corrupt(_) | ManifestError::Stale { .. }) => {}
+            Err(ManifestError::Io(e)) => {
+                assert!(e.to_string().contains("UTF-8"), "unexpected I/O error: {e}");
+            }
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+
+    /// Garbage lines interleaved into the file (a foreign process
+    /// appending, a botched merge) stop the load at the first bad line —
+    /// the intact prefix is recovered, nothing after it leaks through.
+    #[test]
+    fn interleaved_garbage_stops_cleanly(
+        n in 2usize..8,
+        at in 1usize..8,
+        garbage in prop::collection::vec(any::<u8>(), 1..64),
+    ) {
+        let path = scratch("interleave");
+        let (bytes, written) = write_manifest(&path, n);
+        let text = String::from_utf8(bytes).unwrap();
+        let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+        let at = 1 + (at % n); // after the header, somewhere among entries
+        let junk: String = garbage
+            .iter()
+            .map(|b| char::from(b'!' + (b % 90)))
+            .filter(|c| *c != '\n')
+            .collect();
+        lines.insert(at.min(lines.len()), junk);
+        std::fs::write(&path, lines.join("\n") + "\n").unwrap();
+        let recovered = Manifest::load(&path, &header(n)).unwrap();
+        // Everything before the junk line survives; at it, load stops.
+        prop_assert_eq!(recovered.len(), at - 1);
+        assert_recovered_is_clean_prefix(&recovered, &written);
+    }
+
+    /// A manifest rewritten through `create` with preserved entries then
+    /// truncated mid-append still resumes exactly-once: recovered
+    /// entries and rerun jobs partition the grid.
+    #[test]
+    fn preserved_plus_truncated_tail_partitions_the_grid(keep in 1usize..6, extra in 1usize..4) {
+        let path = scratch("partition");
+        let n = keep + extra;
+        let (_, written) = write_manifest(&path, keep);
+        // Crash-recovery rewrite: preserve the first `keep`, then append
+        // `extra` more and tear the last line in half.
+        let manifest = Manifest::create(&path, &header(n), &written).unwrap();
+        for i in 0..extra {
+            let idx = keep + i;
+            manifest.append(
+                &JobId::new("fuzz", format!("point-{idx}"), idx as u64),
+                &format!("{{\"cell\":{idx}}}"),
+            );
+        }
+        drop(manifest);
+        let bytes = std::fs::read(&path).unwrap();
+        let text = std::str::from_utf8(&bytes).unwrap();
+        let last_len = text.trim_end().lines().last().unwrap().len();
+        std::fs::write(&path, &bytes[..bytes.len() - 1 - last_len / 2]).unwrap();
+        let recovered = Manifest::load(&path, &header(n)).unwrap();
+        prop_assert!(recovered.len() >= keep, "preserved entries must survive");
+        prop_assert!(recovered.len() < n, "the torn entry must not resurrect");
+        let ids: std::collections::HashSet<_> =
+            recovered.iter().map(|(id, _)| id.clone()).collect();
+        prop_assert_eq!(ids.len(), recovered.len(), "no duplicate ids");
+    }
+}

@@ -81,6 +81,37 @@ impl ProtocolKind {
         ProtocolKind::LeaderBased,
     ];
 
+    /// Every implemented protocol, including the BMMM-U ablation that
+    /// [`ProtocolKind::ALL`] (the paper's figure list) leaves out.
+    pub const EVERY: [ProtocolKind; 8] = [
+        ProtocolKind::Ieee80211,
+        ProtocolKind::TangGerla,
+        ProtocolKind::Bsma,
+        ProtocolKind::Bmw,
+        ProtocolKind::Bmmm,
+        ProtocolKind::Lamm,
+        ProtocolKind::LeaderBased,
+        ProtocolKind::BmmmUncoordinated,
+    ];
+
+    /// Parses a protocol name: case-insensitive display names
+    /// ([`ProtocolKind::name`]) plus the CLI aliases.
+    pub fn parse(name: &str) -> Option<ProtocolKind> {
+        match name.to_ascii_lowercase().as_str() {
+            "802.11" | "80211" | "ieee80211" | "plain" => Some(ProtocolKind::Ieee80211),
+            "tg" | "tg-rts" | "tang-gerla" | "tanggerla" => Some(ProtocolKind::TangGerla),
+            "bsma" => Some(ProtocolKind::Bsma),
+            "bmw" => Some(ProtocolKind::Bmw),
+            "bmmm" => Some(ProtocolKind::Bmmm),
+            "lamm" => Some(ProtocolKind::Lamm),
+            "leader" | "leader-based" | "kk" => Some(ProtocolKind::LeaderBased),
+            "uncoord" | "bmmm-u" | "bmmm-uncoord" | "bmmm-uncoordinated" => {
+                Some(ProtocolKind::BmmmUncoordinated)
+            }
+            _ => None,
+        }
+    }
+
     /// Short display name.
     pub fn name(&self) -> &'static str {
         match self {
@@ -342,5 +373,23 @@ impl Fsm {
             Fsm::BmmmUncoord(f) => f.gave_up(),
             Fsm::Dcf(_) | Fsm::Plain(_) | Fsm::Tang(_) | Fsm::Bsma(_) => &[],
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_display_name_parses_back() {
+        for p in ProtocolKind::EVERY {
+            assert_eq!(ProtocolKind::parse(p.name()), Some(p), "{}", p.name());
+        }
+        assert_eq!(ProtocolKind::parse("kk"), Some(ProtocolKind::LeaderBased));
+        assert_eq!(
+            ProtocolKind::parse("uncoord"),
+            Some(ProtocolKind::BmmmUncoordinated)
+        );
+        assert_eq!(ProtocolKind::parse("nope"), None);
     }
 }

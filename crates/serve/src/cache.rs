@@ -1,0 +1,288 @@
+//! Content-addressed result cache, backed by the fleet's crash-safe
+//! manifest format.
+//!
+//! Every completed cell is stored under a key derived purely from its
+//! *content*: protocol, scenario JSON, seed, and the trace/profile
+//! flags, all folded through FNV-1a together with the wire-protocol
+//! version. Because the engine is bit-deterministic, replaying a cached
+//! cell is byte-identical to recomputing it — the cache is a pure
+//! memoization layer, never an approximation.
+//!
+//! On disk the cache is a manifest (`header` + one digest-checked JSONL
+//! entry per cell), so it inherits PR 4's crash-safety: appends are
+//! flushed per line, a torn tail is dropped on load, and the header
+//! carries both the serve options hash and the scenario *schema*
+//! fingerprint. A cache written by a build with a different scenario
+//! layout or wire protocol is discarded (with a warning) rather than
+//! replayed — unlike a sweep resume, a stale cache is never an error,
+//! just a cold start.
+
+use crate::proto::{ServeCell, PROTO_VERSION};
+use rmm_fleet::{hex, Fnv1a, JobId, Manifest, ManifestError, ManifestHeader, MANIFEST_VERSION};
+use rmm_mac::ProtocolKind;
+use rmm_workload::Scenario;
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Computes the content address of one cell. Everything that can change
+/// the response bytes is hashed; nothing else is.
+pub fn cache_key(
+    protocol: ProtocolKind,
+    scenario: &Scenario,
+    seed: u64,
+    trace: bool,
+    profile: bool,
+) -> String {
+    let mut h = Fnv1a::new();
+    h.write_str("serve");
+    h.write_u64(u64::from(PROTO_VERSION));
+    h.write_str(protocol.name());
+    h.write_str(&serde_json::to_string(scenario).expect("scenario serializes"));
+    h.write_u64(seed);
+    h.write_u64(u64::from(trace) << 1 | u64::from(profile));
+    format!("{}/{}", protocol.name(), hex(h.finish()))
+}
+
+/// The serve-side result cache: an in-memory index over an optional
+/// on-disk manifest. All methods take `&self`; the store is shared
+/// across connection threads behind an `Arc`.
+pub struct CacheStore {
+    manifest: Option<Manifest>,
+    index: Mutex<HashMap<String, String>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+fn cache_header(schema: u32) -> ManifestHeader {
+    let mut h = Fnv1a::new();
+    h.write_str("serve");
+    h.write_u64(u64::from(PROTO_VERSION));
+    ManifestHeader {
+        sweep: "serve-cache".into(),
+        options_hash: hex(h.finish()),
+        jobs: 0,
+        version: MANIFEST_VERSION,
+        schema,
+    }
+}
+
+impl CacheStore {
+    /// Opens the cache. With `path: None` the cache is memory-only (it
+    /// dies with the server). With a path, compatible entries from a
+    /// previous server are loaded back in; a missing file starts empty,
+    /// and a stale or corrupt file (other schema, other wire protocol,
+    /// unreadable header) is *discarded* with a warning and rebuilt
+    /// from scratch.
+    pub fn open(path: Option<&Path>, schema: u32) -> std::io::Result<CacheStore> {
+        let header = cache_header(schema);
+        let Some(path) = path else {
+            return Ok(CacheStore {
+                manifest: None,
+                index: Mutex::new(HashMap::new()),
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+            });
+        };
+        let preserved = match Manifest::load(path, &header) {
+            Ok(entries) => entries,
+            Err(ManifestError::Missing) => Vec::new(),
+            Err(e @ (ManifestError::Stale { .. } | ManifestError::Corrupt(_))) => {
+                eprintln!(
+                    "rmm-serve: discarding incompatible cache at {}: {e}",
+                    path.display()
+                );
+                Vec::new()
+            }
+            Err(ManifestError::Io(e)) => return Err(e),
+        };
+        let mut index = HashMap::with_capacity(preserved.len());
+        for (id, result) in &preserved {
+            index.insert(id.point.clone(), result.clone());
+        }
+        let manifest = Manifest::create(path, &header, &preserved)
+            .map_err(|e| std::io::Error::other(e.to_string()))?;
+        Ok(CacheStore {
+            manifest: Some(manifest),
+            index: Mutex::new(index),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        })
+    }
+
+    /// Looks a cell up by content key, counting a hit or a miss. An
+    /// unparseable stored cell (which a digest-checked manifest should
+    /// never produce) degrades to a miss.
+    pub fn get(&self, key: &str) -> Option<ServeCell> {
+        let stored = self
+            .index
+            .lock()
+            .expect("cache index poisoned")
+            .get(key)
+            .cloned();
+        match stored.and_then(|json| serde_json::from_str(&json).ok()) {
+            Some(cell) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(cell)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores one completed cell under its content key and appends it
+    /// to the on-disk manifest. Concurrent identical misses may race
+    /// here; both compute the same bytes, so last-write-wins is
+    /// harmless and the on-load index dedups the duplicate line.
+    pub fn put(&self, key: &str, seed: u64, cell: &ServeCell) {
+        let json = serde_json::to_string(cell).expect("cell serializes");
+        if let Some(manifest) = &self.manifest {
+            manifest.append(&JobId::new("serve", key, seed), &json);
+        }
+        self.index
+            .lock()
+            .expect("cache index poisoned")
+            .insert(key.to_string(), json);
+    }
+
+    /// Number of distinct cached cells.
+    pub fn len(&self) -> usize {
+        self.index.lock().expect("cache index poisoned").len()
+    }
+
+    /// Whether the cache holds no cells yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups served from the cache since this store opened.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that fell through to the engine since this store opened.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::compute_cell;
+
+    fn tiny() -> Scenario {
+        Scenario {
+            n_nodes: 8,
+            sim_slots: 200,
+            n_runs: 1,
+            ..Scenario::default()
+        }
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("rmm-serve-cache-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("cache.jsonl")
+    }
+
+    #[test]
+    fn key_depends_on_every_input() {
+        let s = tiny();
+        let base = cache_key(ProtocolKind::Bmmm, &s, 1, false, false);
+        assert_ne!(base, cache_key(ProtocolKind::Bmw, &s, 1, false, false));
+        assert_ne!(base, cache_key(ProtocolKind::Bmmm, &s, 2, false, false));
+        assert_ne!(base, cache_key(ProtocolKind::Bmmm, &s, 1, true, false));
+        assert_ne!(base, cache_key(ProtocolKind::Bmmm, &s, 1, false, true));
+        let mut other = s.clone();
+        other.n_nodes += 1;
+        assert_ne!(base, cache_key(ProtocolKind::Bmmm, &other, 1, false, false));
+        assert_eq!(base, cache_key(ProtocolKind::Bmmm, &s, 1, false, false));
+    }
+
+    #[test]
+    fn memory_cache_round_trips_and_counts() {
+        let cache = CacheStore::open(None, 7).unwrap();
+        let s = tiny();
+        let key = cache_key(ProtocolKind::Lamm, &s, 3, true, false);
+        assert!(cache.get(&key).is_none());
+        let cell = compute_cell(&s, ProtocolKind::Lamm, 3, true, false);
+        cache.put(&key, 3, &cell);
+        let back = cache.get(&key).expect("cached");
+        assert_eq!(
+            serde_json::to_string(&back.result).unwrap(),
+            serde_json::to_string(&cell.result).unwrap()
+        );
+        assert_eq!(back.trace.as_deref(), cell.trace.as_deref());
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+
+    #[test]
+    fn disk_cache_survives_reopen() {
+        let path = tmp("reopen");
+        let s = tiny();
+        let key = cache_key(ProtocolKind::TangGerla, &s, 5, false, false);
+        {
+            let cache = CacheStore::open(Some(&path), 7).unwrap();
+            cache.put(
+                &key,
+                5,
+                &compute_cell(&s, ProtocolKind::TangGerla, 5, false, false),
+            );
+            assert_eq!(cache.len(), 1);
+        }
+        let cache = CacheStore::open(Some(&path), 7).unwrap();
+        assert_eq!(cache.len(), 1);
+        assert!(cache.get(&key).is_some());
+    }
+
+    #[test]
+    fn schema_drift_discards_disk_cache() {
+        let path = tmp("schema");
+        let s = tiny();
+        let key = cache_key(ProtocolKind::Bsma, &s, 1, false, false);
+        {
+            let cache = CacheStore::open(Some(&path), 7).unwrap();
+            cache.put(
+                &key,
+                1,
+                &compute_cell(&s, ProtocolKind::Bsma, 1, false, false),
+            );
+        }
+        let cache = CacheStore::open(Some(&path), 8).unwrap();
+        assert!(cache.is_empty(), "other schema must start cold");
+        assert!(cache.get(&key).is_none());
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_not_fatal() {
+        let path = tmp("torn");
+        let s = tiny();
+        {
+            let cache = CacheStore::open(Some(&path), 7).unwrap();
+            for seed in 0..3 {
+                let key = cache_key(ProtocolKind::Ieee80211, &s, seed, false, false);
+                cache.put(
+                    &key,
+                    seed,
+                    &compute_cell(&s, ProtocolKind::Ieee80211, seed, false, false),
+                );
+            }
+        }
+        // Simulate a kill mid-append: truncate the last line in half.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let keep = text.len() - text.lines().last().unwrap().len() / 2;
+        std::fs::write(&path, &text.as_bytes()[..keep]).unwrap();
+        let cache = CacheStore::open(Some(&path), 7).unwrap();
+        assert_eq!(
+            cache.len(),
+            2,
+            "intact prefix survives, torn tail is dropped"
+        );
+    }
+}

@@ -43,5 +43,5 @@ pub use runner::{
     run_one, run_one_forensic, run_one_naive, run_one_profiled, run_one_profiled_traced,
     run_one_traced, run_one_traced_naive, RunResult, StallReport,
 };
-pub use scenario::Scenario;
+pub use scenario::{scenario_schema_hash, Scenario};
 pub use traffic::{TrafficGen, TrafficMix};

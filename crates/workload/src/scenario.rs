@@ -136,6 +136,65 @@ impl Scenario {
     }
 }
 
+/// Fingerprint of the [`Scenario`] *serialization shape*.
+///
+/// A probe scenario with every optional subsystem populated (all four
+/// fault kinds, churn, burst channel, watchdog, position noise — so
+/// every nested shape appears in the JSON) is serialized and its
+/// structure hashed: key names, nesting, and enum tags, with numbers
+/// and booleans reduced to their JSON type so value changes don't
+/// matter. Sweep manifests and the serve result cache stamp this into
+/// their headers ([`rmm_fleet::ManifestHeader::schema`]); adding,
+/// renaming, or moving a `Scenario` field therefore invalidates cached
+/// entries even when the stored options string would still parse —
+/// stale digests self-invalidate instead of silently resurrecting.
+pub fn scenario_schema_hash() -> u32 {
+    let probe = Scenario::default()
+        .with_faults(
+            rmm_sim::FaultPlan::parse("crash:0@1;deaf:1@1..2;mute:2@1..2;reboot:3@1..2")
+                .expect("probe fault plan parses"),
+        )
+        .with_churn(ChurnPlan::parse("leave:0@1;join:0@2").expect("probe churn plan parses"))
+        .with_burst(GilbertElliott::new(0.1, 0.9))
+        .with_stall_window(1)
+        .with_position_noise(0.1);
+    let mut h = rmm_fleet::Fnv1a::new();
+    walk_shape(&serde_json::to_value(&probe), &mut h);
+    let h = h.finish();
+    (h >> 32) as u32 ^ h as u32
+}
+
+/// Feeds a JSON value's structure (not its numeric/boolean content)
+/// into the hasher. Strings keep their content: on the fixed probe they
+/// are enum tags and spec strings, which are part of the shape.
+fn walk_shape(v: &serde_json::Value, h: &mut rmm_fleet::Fnv1a) {
+    use serde_json::Value;
+    match v {
+        Value::Null => h.write_str("null"),
+        Value::Bool(_) => h.write_str("bool"),
+        Value::Number(_) => h.write_str("num"),
+        Value::String(s) => {
+            h.write_str("str");
+            h.write_str(s);
+        }
+        Value::Array(items) => {
+            h.write_str("[");
+            for item in items {
+                walk_shape(item, h);
+            }
+            h.write_str("]");
+        }
+        Value::Object(map) => {
+            h.write_str("{");
+            for (k, val) in map.iter() {
+                h.write_str(k);
+                walk_shape(val, h);
+            }
+            h.write_str("}");
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -189,5 +248,25 @@ mod tests {
         let json = serde_json::to_string(&s).unwrap();
         let back: Scenario = serde_json::from_str(&json).unwrap();
         assert_eq!(s, back);
+    }
+
+    #[test]
+    fn schema_hash_is_stable_and_shape_sensitive() {
+        // Deterministic across calls (it goes into persistent headers).
+        assert_eq!(scenario_schema_hash(), scenario_schema_hash());
+        // The walk sees key names and nesting, not numeric values.
+        let shape = |v: &serde_json::Value| {
+            let mut h = rmm_fleet::Fnv1a::new();
+            walk_shape(v, &mut h);
+            h.finish()
+        };
+        let a: serde_json::Value = serde_json::from_str("{\"n\":1,\"r\":[2,3]}").unwrap();
+        let same_shape: serde_json::Value = serde_json::from_str("{\"n\":9,\"r\":[7,8]}").unwrap();
+        let renamed: serde_json::Value = serde_json::from_str("{\"m\":1,\"r\":[2,3]}").unwrap();
+        let nested: serde_json::Value =
+            serde_json::from_str("{\"n\":{\"x\":1},\"r\":[2,3]}").unwrap();
+        assert_eq!(shape(&a), shape(&same_shape));
+        assert_ne!(shape(&a), shape(&renamed));
+        assert_ne!(shape(&a), shape(&nested));
     }
 }
